@@ -1,0 +1,25 @@
+"""Ablation: node-level aggregation (WNs / NN), the paper's deferred
+"one level up" extension, on the flush-dominated all-to-all."""
+
+from conftest import run_once
+
+from repro.apps import run_alltoall
+from repro.machine import MachineConfig
+
+MACHINE = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=4)
+
+
+def test_abl_node_level_alltoall(benchmark):
+    def sweep():
+        return {
+            s: run_alltoall(MACHINE, s, items_per_pair=2, buffer_items=256)
+            for s in ("WW", "WPs", "PP", "WNs", "NN")
+        }
+
+    res = run_once(benchmark, sweep)
+    msgs = {s: r.messages_sent for s, r in res.items()}
+    # Message hierarchy: each aggregation level cuts flush messages.
+    assert msgs["WW"] > msgs["WPs"] > msgs["WNs"]
+    assert msgs["PP"] > msgs["NN"]
+    # And it pays off in time for the short-stream exchange.
+    assert res["WNs"].total_time_ns < res["WW"].total_time_ns

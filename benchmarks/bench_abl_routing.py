@@ -1,0 +1,47 @@
+"""Ablation: 2D topological routing (legacy TRAM) vs flat WPs.
+
+The paper's §I: topology-aware routing schemes "are less beneficial for
+modern topologies like fat-trees". On our distance-insensitive fabric
+the routed scheme buys fewer source buffers and flush messages but pays
+an extra alpha + re-buffering per cross-row item.
+"""
+
+from conftest import run_once
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=8, processes_per_node=2, workers_per_process=2)
+
+
+def run(scheme, items=400):
+    rt = RuntimeSystem(MACHINE, seed=0)
+    tram = make_scheme(
+        scheme, rt, TramConfig(buffer_items=16, item_bytes=8, idle_flush=True),
+        deliver_item=lambda ctx, it: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx):
+        rng = rt.rng.stream(f"rt/{ctx.worker.wid}")
+        for _ in range(items):
+            tram.insert(ctx, dst=int(rng.integers(0, W)))
+
+    for w in range(W):
+        rt.post(w, driver)
+    stats = rt.run(max_events=5_000_000)
+    return stats.end_time, tram.stats
+
+
+def test_abl_2d_routing_vs_flat(benchmark):
+    def pair():
+        return run("R2D"), run("WPs")
+
+    (t_r2d, s_r2d), (t_wps, s_wps) = run_once(benchmark, pair)
+    # Routing wins the buffer-count game...
+    assert s_r2d.buffers_allocated < s_wps.buffers_allocated
+    # ...but on a flat fabric the extra hop costs latency.
+    assert s_r2d.latency.mean > s_wps.latency.mean
+    # And items covered are identical.
+    assert s_r2d.items_delivered == s_wps.items_delivered

@@ -1,0 +1,15 @@
+"""Fig 1 — ping-pong time vs message size (alpha-beta motivation)."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig1
+
+
+def test_fig01_pingpong(benchmark):
+    data = run_once(benchmark, fig1, "quick")
+    y = data.series_by_name("one_way_us").y
+    # Small messages alpha-dominated (flat, microsecond order)...
+    assert abs(y[0] - y[1]) / y[0] < 0.15
+    assert 0.5 < y[0] < 20.0
+    # ...large messages bandwidth-bound.
+    assert y[-1] > 10 * y[0]

@@ -1,0 +1,17 @@
+"""Fig 3 — PingAck: SMP process-count sweep vs non-SMP."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig3
+
+
+def test_fig03_pingack(benchmark):
+    data = run_once(benchmark, fig3, "quick")
+    y = data.series_by_name("time_ms").y
+    nonsmp, smp = y[0], y[1:]
+    # One comm thread for all workers: several times slower than non-SMP.
+    assert smp[0] > 1.5 * nonsmp
+    # Monotone recovery with more processes per node.
+    assert all(a >= b * 0.99 for a, b in zip(smp, smp[1:]))
+    # Enough processes reaches parity (within 30%).
+    assert smp[-1] < 1.3 * nonsmp

@@ -1,0 +1,19 @@
+"""Fig 9 — histogram weak scaling across aggregation schemes."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig9
+
+
+def test_fig09_histogram_weak_scaling(benchmark):
+    data = run_once(benchmark, fig9, "quick")
+    ww = data.series_by_name("WW").y
+    wps = data.series_by_name("WPs").y
+    pp = data.series_by_name("PP").y
+    # At the largest node count WPs beats WW (WW is flush-dominated).
+    assert wps[-1] <= ww[-1]
+    # WW's slowdown from smallest to largest machine exceeds WPs's: it
+    # "stops scaling" first.
+    assert ww[-1] / ww[0] > wps[-1] / wps[0]
+    # PP scales but carries atomics overhead relative to WPs.
+    assert pp[-1] >= wps[-1]

@@ -1,0 +1,17 @@
+"""Fig 10 — histogram buffer-size sweep."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig10
+
+
+def test_fig10_histogram_buffer_size(benchmark):
+    data = run_once(benchmark, fig10, "quick")
+    for name in ("WPs", "WsP", "PP"):
+        y = data.series_by_name(name).y
+        # Node-aware schemes improve monotonically over the quick sweep.
+        assert y[0] > y[-1]
+    ww = data.series_by_name("WW").y
+    # WW benefits from aggregation too, but its best point is not the
+    # largest buffer once its footprint grows (<= means plateau allowed).
+    assert min(ww) <= ww[-1]

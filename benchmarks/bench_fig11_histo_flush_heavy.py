@@ -1,0 +1,17 @@
+"""Fig 11 — histogram with few updates/PE: the flush-heavy regime."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig11
+
+
+def test_fig11_histogram_flush_heavy(benchmark):
+    data = run_once(benchmark, fig11, "quick")
+    ww = data.series_by_name("WW").y
+    wps = data.series_by_name("WPs").y
+    pp = data.series_by_name("PP").y
+    # WW collapses at the largest node count (one flush message per
+    # destination worker).
+    assert ww[-1] > 1.3 * wps[-1]
+    # PP stays in WPs's neighbourhood (atomics offset its flush gains).
+    assert pp[-1] < ww[-1]

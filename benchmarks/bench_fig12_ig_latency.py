@@ -1,0 +1,13 @@
+"""Fig 12 — index-gather mean item latency by scheme."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig12
+
+
+def test_fig12_ig_latency(benchmark):
+    data = run_once(benchmark, fig12, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # The paper's headline latency ordering.
+    assert at_largest["PP"] < at_largest["WPs"] < at_largest["WW"]
+    assert at_largest["PP"] < at_largest["WsP"] < at_largest["WW"]

@@ -1,0 +1,14 @@
+"""Fig 13 — index-gather total time by scheme."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig13
+
+
+def test_fig13_ig_time(benchmark):
+    data = run_once(benchmark, fig13, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # WPs/WsP are the best overall; WW is the worst at scale.
+    best = min(at_largest.values())
+    assert at_largest["WPs"] < 1.15 * best
+    assert at_largest["WW"] >= max(at_largest["WPs"], at_largest["WsP"])

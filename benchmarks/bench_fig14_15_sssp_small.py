@@ -1,0 +1,22 @@
+"""Figs 14/15 — SSSP small problem: time and wasted updates."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig14, fig15
+
+
+def test_fig14_sssp_small_time(benchmark):
+    data = run_once(benchmark, fig14, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # Node-aware schemes do not lose to WW on small latency-bound SSSP.
+    assert at_largest["PP"] <= at_largest["WW"]
+    assert at_largest["WPs"] <= at_largest["WW"] * 1.05
+
+
+def test_fig15_sssp_small_wasted(benchmark):
+    data = run_once(benchmark, fig15, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # Normalized to WW: WW == 1; PP wastes least (latency-sensitivity).
+    assert at_largest["WW"] == 1.0
+    assert at_largest["PP"] <= at_largest["WW"]
+    assert at_largest["WPs"] <= at_largest["WW"] * 1.02

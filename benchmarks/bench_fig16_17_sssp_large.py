@@ -1,0 +1,22 @@
+"""Figs 16/17 — SSSP large problem: time and wasted updates."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig16, fig17
+
+
+def test_fig16_sssp_large_time(benchmark):
+    data = run_once(benchmark, fig16, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # WPs performs at least as well as WW on the large input.
+    assert at_largest["WPs"] <= at_largest["WW"] * 1.05
+
+
+def test_fig17_sssp_large_wasted(benchmark):
+    data = run_once(benchmark, fig17, "quick")
+    at_largest = {s.name: s.y[-1] for s in data.series}
+    # Large inputs: no significant wasted-update gap (paper Fig 17) —
+    # every scheme within ~30% of WW (vs several-fold gaps on the
+    # small problem of Fig 15).
+    for name, value in at_largest.items():
+        assert 0.70 <= value <= 1.15, (name, value)

@@ -1,0 +1,13 @@
+"""Fig 18 — PHOLD synthetic: rejected (out-of-order) events."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig18
+
+
+def test_fig18_phold_rejected(benchmark):
+    data = run_once(benchmark, fig18, "quick")
+    rejected = dict(zip(data.x, data.series_by_name("rejected").y))
+    # The paper: >5% fewer rejected events for node-aware PP.
+    assert rejected["PP"] < 0.95 * rejected["WW"]
+    assert rejected["PP"] < 0.97 * rejected["WPs"]

@@ -1,0 +1,24 @@
+"""tabA/tabB — §III-C closed-form analysis vs simulator measurement."""
+
+from conftest import run_once
+
+from repro.harness.figures import tabA, tabB
+
+
+def test_tabA_memory_overhead(benchmark):
+    data = run_once(benchmark, tabA, "quick")
+    measured = dict(zip(data.x, data.series_by_name("measured").y))
+    analytic = dict(zip(data.x, data.series_by_name("analytic_max").y))
+    for scheme in data.x:
+        assert measured[scheme] <= analytic[scheme]
+    # The §III-C ordering: WW allocates the most, PP the least.
+    assert measured["WW"] > measured["WPs"] >= measured["PP"]
+
+
+def test_tabB_message_bounds(benchmark):
+    data = run_once(benchmark, tabB, "quick")
+    lower = data.series_by_name("lower_bound").y
+    measured = data.series_by_name("measured").y
+    upper = data.series_by_name("upper_bound").y
+    for lo, m, hi in zip(lower, measured, upper):
+        assert lo <= m <= hi

@@ -1,0 +1,19 @@
+"""Shared benchmark helpers.
+
+Every paper figure has one benchmark file. Benchmarks run the
+``quick``-profile experiment once per round (`pedantic`, one round) —
+pytest-benchmark reports the wall time of regenerating the figure, and
+each bench *asserts the paper's qualitative shape* on the produced data,
+so `pytest benchmarks/ --benchmark-only` doubles as the reproduction
+check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (experiments are seconds-long)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §III-A detective story: why was SMP 5x slower?
+
+The Charm++ SMP runtime dedicates one core per process to a
+communication thread. For ordinary workloads that is a good deal; for
+fine-grained messaging it becomes a serializing bottleneck — the PingAck
+microbenchmark (paper Figs 2-3) isolates it. This example runs PingAck
+across process counts and prints the comm thread's utilization, showing
+directly how adding processes (more comm threads) dissolves the queue.
+
+Run:  python examples/commthread_bottleneck.py
+"""
+
+from repro.apps.pingack import run_pingack
+from repro.machine import MachineConfig, nonsmp_machine
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    wpn = 16  # worker cores per node (scaled from the paper's 64)
+    msgs = 250
+
+    rows = []
+    nonsmp = run_pingack(nonsmp_machine(2, ranks_per_node=wpn),
+                         messages_per_pe=msgs)
+    rows.append([nonsmp.label, nonsmp.total_time_ns / 1e6, 1.0, "-"])
+
+    for ppn in (1, 2, 4, 8):
+        machine = MachineConfig(nodes=2, processes_per_node=ppn,
+                                workers_per_process=wpn // ppn)
+        r = run_pingack(machine, messages_per_pe=msgs)
+        rows.append([
+            r.label,
+            r.total_time_ns / 1e6,
+            r.total_time_ns / nonsmp.total_time_ns,
+            f"{wpn // ppn} workers/commthread",
+        ])
+
+    print(render_table(
+        ["configuration", "time ms", "x non-SMP", "comm-thread load"], rows
+    ))
+    print(
+        "\nThe paper's observations, reproduced:\n"
+        "  * one process per node: every worker's messages funnel through\n"
+        "    a single comm thread -> several times slower than non-SMP;\n"
+        "  * each doubling of processes halves the per-comm-thread load;\n"
+        "  * with enough processes, SMP matches non-SMP while keeping\n"
+        "    shared-memory benefits (which the aggregation schemes then\n"
+        "    exploit — see examples/scheme_comparison.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

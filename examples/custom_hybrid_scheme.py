@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Build your own aggregation policy on top of the library.
+
+The paper's future work asks for "prioritization of items, which should
+help latency or cost sensitive applications". TramLib already ships a
+priority-*flush* knob; this example goes further and composes a custom
+**hybrid policy** from two stock scheme instances, entirely through the
+public API:
+
+  * urgent items (priority <= threshold) go through a `Direct` instance
+    — one message each, minimum latency, full alpha cost;
+  * everything else is aggregated through a `WPs` instance.
+
+The hybrid is compared against pure WPs and pure Direct on a mixed
+workload: the urgent 5% of items get near-Direct latency while the
+bulk 95% keeps near-WPs overhead.
+
+Run:  python examples/custom_hybrid_scheme.py
+"""
+
+from repro import MachineConfig, RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+from repro.util.tables import render_table
+
+MACHINE = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=4)
+ITEMS_PER_WORKER = 150
+URGENT_EVERY = 20  # 5% of items are urgent
+PACE_NS = 2_000.0  # compute between items: sparse traffic, slow fills
+
+
+class HybridAggregator:
+    """Urgent items Direct, the rest WPs — composition, no subclassing."""
+
+    def __init__(self, rt, threshold: float, deliver_item) -> None:
+        self.threshold = threshold
+        self.fast = make_scheme("Direct", rt, TramConfig(item_bytes=8),
+                                deliver_item=deliver_item)
+        self.bulk = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=64, item_bytes=8),
+            deliver_item=deliver_item,
+        )
+
+    def insert(self, ctx, dst, payload=None, priority=None):
+        if priority is not None and priority <= self.threshold:
+            self.fast.insert(ctx, dst, payload, priority)
+        else:
+            self.bulk.insert(ctx, dst, payload, priority)
+
+    def flush(self, ctx):
+        self.bulk.flush(ctx)
+
+    @property
+    def messages_sent(self):
+        return self.fast.stats.messages_sent + self.bulk.stats.messages_sent
+
+
+def run(policy_name: str):
+    rt = RuntimeSystem(MACHINE, seed=7)
+    urgent_lat = []
+    normal_lat = []
+
+    def deliver(ctx, item):
+        # item.payload carries (created, urgent) for latency bookkeeping.
+        created, urgent = item.payload
+        (urgent_lat if urgent else normal_lat).append(ctx.now - created)
+
+    if policy_name == "hybrid":
+        agg = HybridAggregator(rt, threshold=0.0, deliver_item=deliver)
+    else:
+        tram = make_scheme(
+            policy_name, rt,
+            TramConfig(buffer_items=64, item_bytes=8),
+            deliver_item=deliver,
+        )
+
+        class _Plain:
+            def insert(self, ctx, dst, payload=None, priority=None):
+                tram.insert(ctx, dst, payload, priority)
+
+            def flush(self, ctx):
+                tram.flush(ctx)
+
+            messages_sent = property(lambda self: tram.stats.messages_sent)
+
+        agg = _Plain()
+
+    def driver(ctx, i):
+        # One item per task with PACE_NS of compute in between: the
+        # sparse-traffic regime where buffers fill slowly and buffering
+        # latency (not congestion) dominates.
+        ctx.charge(PACE_NS)
+        urgent = i % URGENT_EVERY == 0
+        rng = rt.rng.stream(f"hybrid/{ctx.worker.wid}")
+        dst = int(rng.integers(0, MACHINE.total_workers))
+        agg.insert(ctx, dst, payload=(ctx.now, urgent),
+                   priority=0.0 if urgent else 1.0)
+        if i + 1 < ITEMS_PER_WORKER:
+            ctx.emit(ctx.worker.post_task, driver, i + 1)
+        else:
+            agg.flush(ctx)
+
+    for w in range(MACHINE.total_workers):
+        rt.post(w, driver, 0)
+    rt.run()
+
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+    return mean(urgent_lat), mean(normal_lat), agg.messages_sent, rt.now
+
+
+def main() -> None:
+    print(f"machine: {MACHINE.describe()}")
+    print(f"workload: {ITEMS_PER_WORKER} items/worker, 1 in {URGENT_EVERY} urgent\n")
+    rows = []
+    for name in ("WPs", "Direct", "hybrid"):
+        u, n, msgs, t = run(name)
+        rows.append([name, u / 1e3, n / 1e3, msgs, t / 1e6])
+    print(render_table(
+        ["policy", "urgent lat us", "normal lat us", "messages", "time ms"],
+        rows,
+    ))
+    print(
+        "\nIn sparse traffic, aggregated items wait a long time for their\n"
+        "buffer to fill; the hybrid gives the urgent 5% Direct-class\n"
+        "latency while the other 95% keep aggregation-class message\n"
+        "counts — the policy the paper's future-work section sketches,\n"
+        "built from two stock scheme instances sharing one runtime.\n"
+        "(In saturating streams, plain WPs already has low latency — the\n"
+        "hybrid is a tool for the sparse/latency-critical regime.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

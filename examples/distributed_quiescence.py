@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Detect termination the way a real Charm++ program must.
+
+Our benchmark harness "cheats": the simulator knows globally when the
+event queue drains. A real distributed program doesn't — it runs a
+quiescence-detection protocol. This example attaches the two-wave
+detector (`repro.runtime.qd_protocol`) to a streaming aggregation app
+and reports what detection *costs*: how long after true quiescence the
+declaration lands, and how many protocol messages it took.
+
+Run:  python examples/distributed_quiescence.py
+"""
+
+import numpy as np
+
+from repro import MachineConfig, RuntimeSystem, fmt_time
+from repro.runtime.qd_protocol import QuiescenceDetector
+from repro.tram import TramConfig, make_scheme
+
+
+def main() -> None:
+    machine = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=4)
+    rt = RuntimeSystem(machine, seed=11)
+    print(f"machine: {machine.describe()}\n")
+
+    declared = []
+    qd = QuiescenceDetector(rt, on_quiescence=declared.append,
+                            poll_interval_ns=25_000.0)
+    last_delivery = {"t": 0.0}
+
+    def deliver(ctx, item):
+        qd.note_consumed(ctx)
+        last_delivery["t"] = max(last_delivery["t"], ctx.now)
+
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=32, idle_flush=True),
+        deliver_item=deliver,
+    )
+
+    items_per_worker = 300
+
+    def driver(ctx, remaining):
+        rng = rt.rng.stream(f"qd-demo/{ctx.worker.wid}")
+        ctx.charge(500.0)  # some compute between sends
+        qd.note_produced(ctx)
+        tram.insert(ctx, dst=int(rng.integers(0, machine.total_workers)))
+        if remaining > 1:
+            ctx.emit(ctx.worker.post_task, driver, remaining - 1)
+
+    for wid in range(machine.total_workers):
+        rt.post(wid, driver, items_per_worker)
+    qd.start()
+    rt.run()
+
+    assert declared, "detector never fired"
+    lag = declared[0] - last_delivery["t"]
+    print(f"last application delivery : {fmt_time(last_delivery['t'])}")
+    print(f"quiescence declared at    : {fmt_time(declared[0])}")
+    print(f"detection lag             : {fmt_time(lag)}")
+    print(f"detection waves           : {qd.waves_run}")
+    print(f"protocol messages         : {qd.messages_sent}")
+    print(
+        "\nThe two-wave rule means the declaration always trails true\n"
+        "quiescence by one to two poll intervals plus a network round\n"
+        "trip — the price a distributed program pays for certainty that\n"
+        "no message is still in flight."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""PDES: aggregation latency as a driver of optimistic rollbacks.
+
+Optimistic parallel discrete-event simulation executes events
+speculatively; an event arriving behind its logical process's clock
+forces a rollback. The paper's synthetic PHOLD (Fig 18) uses a
+placeholder engine that merely *counts* such out-of-order arrivals —
+so the number of "rejected" events is a pure function of message
+latency, which is exactly what the aggregation scheme controls.
+
+This example sweeps schemes and buffer sizes and shows both effects:
+PP's shared buffers cut rejects, and bigger buffers (more latency)
+raise them.
+
+Run:  python examples/pdes_rollbacks.py
+"""
+
+from repro.apps import run_phold
+from repro.machine import MachineConfig
+from repro.tram import SCHEME_NAMES
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    machine = MachineConfig(nodes=2, processes_per_node=1, workers_per_process=8)
+    print(f"machine: {machine.describe()} (PHOLD favours many workers per "
+          f"process, like the paper's ppn=32 runs)\n")
+
+    print("--- schemes at g=32 ---")
+    rows = []
+    baseline = None
+    for scheme in SCHEME_NAMES:
+        r = run_phold(machine, scheme, lps_per_worker=8,
+                      quota_per_worker=1200, buffer_items=32)
+        if baseline is None:
+            baseline = r.events_rejected
+        rows.append([
+            scheme,
+            r.events_executed,
+            r.events_rejected,
+            f"{r.rejected_fraction:.1%}",
+            f"{(baseline - r.events_rejected) / baseline:+.1%}",
+            r.mean_latency_ns / 1e3,
+        ])
+    print(render_table(
+        ["scheme", "executed", "rejected", "rej %", "vs WW", "latency us"],
+        rows,
+    ))
+
+    print("\n--- WPs: buffer size vs rejects (latency knob) ---")
+    rows = []
+    for g in (4, 16, 64, 256):
+        r = run_phold(machine, "WPs", lps_per_worker=8,
+                      quota_per_worker=1200, buffer_items=g)
+        rows.append([g, r.events_rejected, r.mean_latency_ns / 1e3])
+    print(render_table(["g", "rejected", "latency us"], rows))
+    print(
+        "\nTakeaways:\n"
+        "  * PP rejects clearly fewer events than the worker-buffered\n"
+        "    schemes (the paper's >5% Fig 18 result);\n"
+        "  * buffer depth is U-shaped: tiny buffers flood the comm path,\n"
+        "    huge ones never fill (idle flush takes over and the curve\n"
+        "    plateaus). For rollback-dominated PDES, aggregation is a\n"
+        "    latency knob first and an overhead knob second."
+    )
+
+
+if __name__ == "__main__":
+    main()

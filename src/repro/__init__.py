@@ -1,0 +1,76 @@
+"""repro — reproduction of *Shared Memory-Aware Latency-Sensitive Message
+Aggregation for Fine-Grained Communication* (SC 2024).
+
+The package provides:
+
+* :mod:`repro.sim` — deterministic discrete-event engine (the substrate
+  substituting for the paper's Delta supercomputer; see DESIGN.md §2);
+* :mod:`repro.machine` — cluster topology and nanosecond cost model;
+* :mod:`repro.network` — alpha–beta wire model with per-node NICs;
+* :mod:`repro.runtime` — Charm++-like SMP runtime (worker PEs, comm
+  threads, transport, chares);
+* :mod:`repro.tram` — **TramLib**, the paper's contribution: the WW,
+  WPs, WsP and PP aggregation schemes plus flush policies and stats;
+* :mod:`repro.analysis` — the paper's §III-C closed-form cost analysis;
+* :mod:`repro.apps` — PingAck, histogram, index-gather, SSSP and PHOLD;
+* :mod:`repro.harness` — per-figure experiment harness and CLI.
+
+Quickstart
+----------
+>>> from repro import RuntimeSystem, delta_machine
+>>> rt = RuntimeSystem(delta_machine(nodes=2, processes_per_node=2,
+...                                  workers_per_process=2))
+>>> rt.machine.total_workers
+8
+"""
+
+from repro.errors import (
+    ConfigError,
+    DeliveryError,
+    HarnessError,
+    QuiescenceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.machine import (
+    CostModel,
+    MachineConfig,
+    delta_costs,
+    delta_machine,
+    nonsmp_machine,
+    small_test_machine,
+)
+from repro.runtime import Chare, ExecContext, QDCounter, RuntimeSystem
+from repro.sim import MS, NS, SEC, US, Engine, RngStreams, Tracer, fmt_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chare",
+    "ConfigError",
+    "CostModel",
+    "DeliveryError",
+    "Engine",
+    "ExecContext",
+    "HarnessError",
+    "MS",
+    "MachineConfig",
+    "NS",
+    "QDCounter",
+    "QuiescenceError",
+    "ReproError",
+    "RngStreams",
+    "RuntimeSystem",
+    "SEC",
+    "SchedulingError",
+    "SimulationError",
+    "Tracer",
+    "US",
+    "__version__",
+    "delta_costs",
+    "delta_machine",
+    "fmt_time",
+    "nonsmp_machine",
+    "small_test_machine",
+]

@@ -1,0 +1,41 @@
+"""Closed-form cost analysis from the paper's §III-C.
+
+Four analyses, each cross-checked against the simulator by the test
+suite (``tests/analysis``, ``tests/properties``):
+
+* :mod:`~repro.analysis.memory` — buffer memory overhead per scheme;
+* :mod:`~repro.analysis.msgcount` — message-count lower/upper bounds;
+* :mod:`~repro.analysis.sendcost` — alpha–beta send cost with and
+  without aggregation;
+* :mod:`~repro.analysis.latency` — buffer-fill latency model (why PP's
+  shared buffers cut item latency by the worker count ``t``).
+"""
+
+from repro.analysis.latency import expected_fill_latency_ns, fill_rate_per_buffer
+from repro.analysis.memory import (
+    buffer_bytes_per_core,
+    buffer_bytes_per_process,
+    total_buffer_bytes,
+)
+from repro.analysis.msgcount import (
+    message_bounds_per_source,
+    message_bounds_total,
+)
+from repro.analysis.sendcost import (
+    aggregated_send_cost_ns,
+    aggregation_speedup,
+    direct_send_cost_ns,
+)
+
+__all__ = [
+    "aggregated_send_cost_ns",
+    "aggregation_speedup",
+    "buffer_bytes_per_core",
+    "buffer_bytes_per_process",
+    "direct_send_cost_ns",
+    "expected_fill_latency_ns",
+    "fill_rate_per_buffer",
+    "message_bounds_per_source",
+    "message_bounds_total",
+    "total_buffer_bytes",
+]

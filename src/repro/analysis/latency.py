@@ -1,0 +1,59 @@
+"""Buffer-fill latency model (paper §III-C "Message send cost", latency
+discussion).
+
+An item entering a buffer waits until the buffer fills (or is flushed).
+With fill rate ``r`` items/ns, a ``g``-item buffer adds up to ``g/r``
+latency; on average an item waits for the remaining ``(g-1)/2`` arrivals.
+
+The scheme determines the fill rate seen by one buffer when every
+worker produces ``R`` items/ns spread uniformly over all destinations:
+
+* WW — each buffer receives ``R / (N*t)``: slowest fill, highest latency;
+* WPs / WsP — ``R / N``: ``t`` times faster than WW;
+* PP — ``t * R / N``: all ``t`` workers of the process feed the shared
+  buffer, another factor ``t`` — the mechanism behind Fig 12's
+  ``PP < WPs < WW`` latency ordering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.topology import MachineConfig
+
+
+def fill_rate_per_buffer(
+    scheme: str, rate_per_worker: float, machine: MachineConfig
+) -> float:
+    """Items/ns arriving at one buffer of the given scheme."""
+    if rate_per_worker < 0:
+        raise ConfigError("rate_per_worker must be >= 0")
+    s = scheme.lower()
+    n = machine.total_processes
+    t = machine.workers_per_process
+    if s == "ww":
+        return rate_per_worker / (n * t)
+    if s in ("wps", "wsp"):
+        return rate_per_worker / n
+    if s == "pp":
+        return t * rate_per_worker / n
+    if s == "direct":
+        return float("inf")  # never buffered
+    raise ConfigError(f"no latency model for scheme {scheme!r}")
+
+
+def expected_fill_latency_ns(
+    scheme: str, g: int, rate_per_worker: float, machine: MachineConfig
+) -> float:
+    """Mean buffering delay of an item under uniform traffic.
+
+    The average item waits for half the remaining fills:
+    ``(g - 1) / (2 * r)``.
+    """
+    if g < 1:
+        raise ConfigError(f"g must be >= 1, got {g}")
+    r = fill_rate_per_buffer(scheme, rate_per_worker, machine)
+    if r == float("inf"):
+        return 0.0
+    if r <= 0:
+        return float("inf")
+    return (g - 1) / (2.0 * r)

@@ -1,0 +1,63 @@
+"""Memory overhead of the aggregation schemes (paper §III-C).
+
+With ``g`` items per buffer, ``m`` bytes per item, ``N`` total processes
+and ``t`` workers per process, the paper gives:
+
+=======  =======================  ==========================
+scheme   per core                 per process
+=======  =======================  ==========================
+WW       ``g*m*N*t``              ``g*m*N*t^2``
+WPs/WsP  ``g*m*N``                ``g*m*N*t``
+PP       ``g*m*N/t`` (amortized)  ``g*m*N``
+=======  =======================  ==========================
+
+These are *maximum* allocations (a buffer for every possible
+destination); the library allocates lazily, so measured
+:attr:`~repro.tram.stats.TramStats.buffer_bytes_allocated` is bounded
+above by :func:`total_buffer_bytes` — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.topology import MachineConfig
+
+_WORKER_SCHEMES = {"ww"}
+_PROC_BUFFER_SCHEMES = {"wps", "wsp"}
+_SHARED_SCHEMES = {"pp"}
+
+
+def _norm(scheme: str) -> str:
+    s = scheme.lower()
+    if s not in _WORKER_SCHEMES | _PROC_BUFFER_SCHEMES | _SHARED_SCHEMES:
+        raise ConfigError(f"no memory model for scheme {scheme!r}")
+    return s
+
+
+def buffer_bytes_per_core(scheme: str, g: int, m: int, n_processes: int, t: int) -> float:
+    """Maximum buffer bytes attributable to one worker core."""
+    s = _norm(scheme)
+    if s in _WORKER_SCHEMES:
+        return g * m * n_processes * t
+    if s in _PROC_BUFFER_SCHEMES:
+        return g * m * n_processes
+    return g * m * n_processes / t  # PP: shared across t workers
+
+
+def buffer_bytes_per_process(
+    scheme: str, g: int, m: int, n_processes: int, t: int
+) -> float:
+    """Maximum buffer bytes allocated within one process."""
+    s = _norm(scheme)
+    if s in _WORKER_SCHEMES:
+        return g * m * n_processes * t * t
+    if s in _PROC_BUFFER_SCHEMES:
+        return g * m * n_processes * t
+    return g * m * n_processes
+
+
+def total_buffer_bytes(scheme: str, machine: MachineConfig, g: int, m: int) -> float:
+    """Machine-wide maximum buffer allocation for a scheme."""
+    return buffer_bytes_per_process(
+        scheme, g, m, machine.total_processes, machine.workers_per_process
+    ) * machine.total_processes

@@ -1,0 +1,48 @@
+"""Alpha–beta send-cost model (paper §III-C "Message send cost").
+
+Sending ``z`` items of ``b`` bytes individually costs
+``z * (alpha + beta*b)``; coalesced into buffers of ``g`` items it costs
+``(z/g) * alpha + beta*b*z`` — aggregation divides the alpha component
+by ``g`` while the byte component is irreducible. These closed forms
+motivate the whole library and are checked against the simulated Direct
+vs aggregated runs in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.costs import CostModel
+
+
+def direct_send_cost_ns(
+    z: int, item_bytes: int, costs: CostModel | None = None
+) -> float:
+    """Cost of sending ``z`` items as individual messages."""
+    if z < 0:
+        raise ConfigError(f"z must be >= 0, got {z}")
+    costs = costs or CostModel()
+    alpha = costs.alpha_inter_ns
+    beta = costs.beta_ns_per_byte
+    per_msg_bytes = costs.message_bytes(1, item_bytes)
+    return z * (alpha + beta * per_msg_bytes)
+
+
+def aggregated_send_cost_ns(
+    z: int, g: int, item_bytes: int, costs: CostModel | None = None
+) -> float:
+    """Cost of sending ``z`` items coalesced into ``g``-item buffers."""
+    if g < 1:
+        raise ConfigError(f"g must be >= 1, got {g}")
+    costs = costs or CostModel()
+    alpha = costs.alpha_inter_ns
+    beta = costs.beta_ns_per_byte
+    return (z / g) * alpha + beta * item_bytes * z
+
+
+def aggregation_speedup(
+    z: int, g: int, item_bytes: int, costs: CostModel | None = None
+) -> float:
+    """Model speedup of aggregated over direct sends (>= 1 for small b)."""
+    direct = direct_send_cost_ns(z, item_bytes, costs)
+    agg = aggregated_send_cost_ns(z, g, item_bytes, costs)
+    return direct / agg if agg > 0 else float("inf")

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerate every data figure of the paper.
+
+``python -m repro.harness list`` shows the registry;
+``python -m repro.harness fig9`` runs one experiment and prints the
+table of series the paper's figure plots; ``all`` runs everything.
+Profiles: ``paper`` (default, minutes) and ``quick`` (seconds, used by
+the pytest benchmarks).
+"""
+
+from repro.harness.experiment import FigureData, Series
+from repro.harness.figures import FIGURES, run_figure
+from repro.harness.metrics import UtilizationReport, utilization
+from repro.harness.report import write_report
+from repro.harness.sweep import SweepCell, SweepResult, run_sweep
+from repro.harness.validate import CheckResult, validate_figure, validate_reproduction
+
+__all__ = [
+    "FIGURES",
+    "FigureData",
+    "Series",
+    "SweepCell",
+    "SweepResult",
+    "CheckResult",
+    "UtilizationReport",
+    "run_figure",
+    "run_sweep",
+    "utilization",
+    "validate_figure",
+    "validate_reproduction",
+    "write_report",
+]

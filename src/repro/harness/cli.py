@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro.harness`` / ``tramlib-repro``.
+
+Examples::
+
+    tramlib-repro list
+    tramlib-repro fig9
+    tramlib-repro fig12 --profile quick
+    tramlib-repro all --profile quick --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.harness.figures import FIGURES, run_figure
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tramlib-repro",
+        description=(
+            "Regenerate the figures of 'Shared Memory-Aware "
+            "Latency-Sensitive Message Aggregation for Fine-Grained "
+            "Communication' (SC 2024) on the simulated SMP cluster."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (e.g. fig9), 'all', 'report', 'validate', or 'list'",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["paper", "quick"],
+        default="paper",
+        help="sweep size: 'paper' (default) or 'quick'",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write per-figure .txt reports into",
+    )
+    return parser
+
+
+def _run_one(fig_id: str, profile: str, out: Optional[Path]) -> None:
+    t0 = time.perf_counter()
+    data = run_figure(fig_id, profile)
+    elapsed = time.perf_counter() - t0
+    report = data.render()
+    print(report)
+    print(f"[{fig_id} regenerated in {elapsed:.1f}s wall]")
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{fig_id}.txt").write_text(report + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.target == "list":
+        width = max(len(k) for k in FIGURES)
+        for fig_id, (_, desc) in FIGURES.items():
+            print(f"{fig_id.ljust(width)}  {desc}")
+        return 0
+    if args.target == "all":
+        for fig_id in FIGURES:
+            _run_one(fig_id, args.profile, args.out)
+        return 0
+    if args.target == "validate":
+        from repro.harness.validate import render_results, validate_reproduction
+
+        results = validate_reproduction(profile=args.profile)
+        print(render_results(results))
+        failed = [r for r in results if not r.passed]
+        print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")
+        return 1 if failed else 0
+    if args.target == "report":
+        from repro.harness.report import write_report
+
+        outdir = args.out if args.out is not None else Path("results")
+        outdir.mkdir(parents=True, exist_ok=True)
+        path = write_report(outdir / "REPORT.md", profile=args.profile)
+        print(f"wrote {path}")
+        return 0
+    if args.target not in FIGURES:
+        print(
+            f"error: unknown target {args.target!r} "
+            f"(known: {', '.join(FIGURES)}, all, list)",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.target, args.profile, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Figure-data containers for harness output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.util.tables import render_table
+
+
+@dataclass
+class Series:
+    """One line of a figure: a named y-vector over the shared x-axis."""
+
+    name: str
+    y: List[float]
+
+
+@dataclass
+class FigureData:
+    """Regenerated data behind one paper figure.
+
+    ``x`` is the shared x-axis (node counts, buffer sizes, message
+    sizes, ...); each :class:`Series` is one plotted line. ``expected``
+    records the paper's qualitative claim the data should exhibit.
+    """
+
+    fig_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    x: Sequence
+    series: List[Series] = field(default_factory=list)
+    expected: str = ""
+    notes: str = ""
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def to_table(self) -> str:
+        """Render as a text table (x column + one column per series)."""
+        headers = [self.xlabel] + [s.name for s in self.series]
+        rows = [
+            [x] + [s.y[i] for s in self.series] for i, x in enumerate(self.x)
+        ]
+        return render_table(headers, rows)
+
+    def render(self) -> str:
+        """Full human-readable report block."""
+        parts = [f"== {self.fig_id}: {self.title} ==", ""]
+        parts.append(self.to_table())
+        parts.append("")
+        parts.append(f"y-axis: {self.ylabel}")
+        if self.expected:
+            parts.append(f"paper expectation: {self.expected}")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,114 @@
+"""Post-run utilization metrics for a simulated machine.
+
+After ``rt.run()`` these helpers turn the component counters into the
+quantities a performance engineer would ask for: how busy were the
+worker PEs, the comm threads and the NICs — i.e. *where is the
+bottleneck*. The paper's §III-A diagnosis ("the comm thread itself
+becomes a serializing bottleneck") is literally a read of this report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.util.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import RuntimeSystem
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy fractions over one completed run."""
+
+    total_time_ns: float
+    #: Mean busy fraction over all worker PEs.
+    worker_mean: float
+    #: Busiest single worker PE.
+    worker_max: float
+    #: Mean busy fraction over comm threads (0.0 in non-SMP mode).
+    commthread_mean: float
+    commthread_max: float
+    #: Mean tx-side NIC utilization across nodes.
+    nic_tx_mean: float
+    nic_rx_mean: float
+    #: Total simulated ns messages spent queued behind comm threads.
+    commthread_queue_wait_ns: float
+    #: Total simulated ns messages spent queued behind NICs.
+    nic_queue_wait_ns: float
+
+    def bottleneck(self) -> str:
+        """Name the most-utilized component class."""
+        candidates = {
+            "workers": self.worker_max,
+            "commthreads": self.commthread_max,
+            "nic_tx": self.nic_tx_mean,
+            "nic_rx": self.nic_rx_mean,
+        }
+        return max(candidates, key=candidates.get)
+
+    def to_table(self) -> str:
+        rows = [
+            ["workers (mean/max)", f"{self.worker_mean:.1%}",
+             f"{self.worker_max:.1%}"],
+            ["comm threads (mean/max)", f"{self.commthread_mean:.1%}",
+             f"{self.commthread_max:.1%}"],
+            ["NIC tx / rx (mean)", f"{self.nic_tx_mean:.1%}",
+             f"{self.nic_rx_mean:.1%}"],
+        ]
+        return render_table(["component", "a", "b"], rows)
+
+
+def utilization(rt: "RuntimeSystem") -> UtilizationReport:
+    """Compute the utilization report for a finished run.
+
+    Raises
+    ------
+    ValueError
+        If the run never advanced simulated time.
+    """
+    total = rt.engine.now
+    if total <= 0:
+        raise ValueError("run the simulation before asking for utilization")
+    worker_fracs = [w.stats.busy_ns / total for w in rt.workers]
+
+    ct_fracs: List[float] = []
+    ct_wait = 0.0
+    for proc in rt.processes:
+        ct = proc.commthread
+        if ct is not None:
+            ct_fracs.append(ct.stats.busy_ns / total)
+            ct_wait += ct.stats.queue_wait_ns
+
+    costs = rt.costs
+    tx_fracs, rx_fracs = [], []
+    nic_wait = 0.0
+    for node in rt.nodes:
+        for nic in node.nics:
+            tx_busy = (
+                nic.stats.tx_messages * costs.nic_msg_ns
+                + nic.stats.tx_bytes * costs.beta_ns_per_byte
+            )
+            rx_busy = (
+                nic.stats.rx_messages * costs.nic_msg_ns
+                + nic.stats.rx_bytes * costs.beta_ns_per_byte
+            )
+            tx_fracs.append(tx_busy / total)
+            rx_fracs.append(rx_busy / total)
+            nic_wait += nic.stats.tx_queue_wait_ns + nic.stats.rx_queue_wait_ns
+
+    def mean(xs):
+        return sum(xs) / len(xs) if xs else 0.0
+
+    return UtilizationReport(
+        total_time_ns=total,
+        worker_mean=mean(worker_fracs),
+        worker_max=max(worker_fracs) if worker_fracs else 0.0,
+        commthread_mean=mean(ct_fracs),
+        commthread_max=max(ct_fracs) if ct_fracs else 0.0,
+        nic_tx_mean=mean(tx_fracs),
+        nic_rx_mean=mean(rx_fracs),
+        commthread_queue_wait_ns=ct_wait,
+        nic_queue_wait_ns=nic_wait,
+    )

@@ -1,0 +1,101 @@
+"""Generic parameter sweeps with seed replication.
+
+The per-figure generators in :mod:`repro.harness.figures` are
+hand-shaped to match the paper; this module provides the generic tool
+for *new* studies: run a factory over a parameter grid, optionally
+replicating each cell over seeds to get error bars (the simulator is
+deterministic per seed, so seed variation plays the role of the paper's
+multiple trials).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import HarnessError
+from repro.util.stats import mean_std
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point of a sweep."""
+
+    params: Dict[str, Any]
+    #: Per-seed metric values, in seed order.
+    values: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return mean_std(self.values)[0]
+
+    @property
+    def std(self) -> float:
+        return mean_std(self.values)[1]
+
+
+@dataclass
+class SweepResult:
+    """All cells of a completed sweep."""
+
+    axes: Dict[str, Sequence[Any]]
+    metric: str
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def cell(self, **params: Any) -> SweepCell:
+        """Look up one grid point by its exact parameters."""
+        for c in self.cells:
+            if c.params == params:
+                return c
+        raise KeyError(params)
+
+    def to_table(self) -> str:
+        """Render the grid as a table (one row per cell)."""
+        names = list(self.axes)
+        headers = names + [f"{self.metric} (mean)", "std"]
+        rows = [
+            [c.params[n] for n in names] + [c.mean, c.std]
+            for c in self.cells
+        ]
+        return render_table(headers, rows)
+
+
+def run_sweep(
+    fn: Callable[..., float],
+    axes: Dict[str, Sequence[Any]],
+    *,
+    seeds: Sequence[int] = (0,),
+    metric: str = "value",
+) -> SweepResult:
+    """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
+
+    Parameters
+    ----------
+    fn:
+        Callable returning one float metric. It must accept every axis
+        name as a keyword argument plus ``seed``.
+    axes:
+        Mapping of parameter name to the values to sweep.
+    seeds:
+        Seeds to replicate each cell over (error bars).
+
+    Examples
+    --------
+    >>> from repro.harness.sweep import run_sweep
+    >>> res = run_sweep(lambda x, seed: float(x * x), {"x": [1, 2, 3]})
+    >>> [c.mean for c in res.cells]
+    [1.0, 4.0, 9.0]
+    """
+    if not axes:
+        raise HarnessError("sweep needs at least one axis")
+    if not seeds:
+        raise HarnessError("sweep needs at least one seed")
+    names = list(axes)
+    result = SweepResult(axes=dict(axes), metric=metric)
+    for combo in itertools.product(*(axes[n] for n in names)):
+        params = dict(zip(names, combo))
+        values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
+        result.cells.append(SweepCell(params=params, values=values))
+    return result

@@ -1,0 +1,73 @@
+"""Network message envelope.
+
+A :class:`NetMessage` is what the aggregation library hands to the
+runtime's transport: an opaque payload plus routing metadata. Following
+the paper's vocabulary, application-level short messages are *items*;
+``NetMessage`` always refers to the (possibly aggregated) unit that
+travels between processes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Route(enum.Enum):
+    """Route class of a message, used for statistics and cost selection."""
+
+    INTRA_PROCESS = "intra_process"
+    INTRA_NODE = "intra_node"
+    INTER_NODE = "inter_node"
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class NetMessage:
+    """One transport-level message.
+
+    Attributes
+    ----------
+    kind:
+        Dispatch key; the runtime routes the message to the handler
+        registered under this kind (see
+        :meth:`repro.runtime.system.RuntimeSystem.register_handler`).
+    src_worker:
+        Global id of the worker that issued the send (for PP messages:
+        the worker whose insert filled the buffer).
+    dst_process:
+        Destination process id.
+    dst_worker:
+        Destination worker id for worker-addressed messages (WW/direct);
+        ``None`` for process-addressed messages — the destination process
+        picks a receiver PE on arrival.
+    size_bytes:
+        Wire size including the fixed header (already resized to the
+        filled portion of the buffer, per the paper's flush optimization).
+    payload:
+        Opaque content (an item batch, a bulk-count batch, ...).
+    expedited:
+        Prioritized over normal application tasks at the destination PE
+        (the paper uses Charm++ expedited methods for TramLib messages).
+    send_time:
+        Simulated time the message left the source worker; filled by the
+        transport.
+    """
+
+    kind: str
+    src_worker: int
+    dst_process: int
+    size_bytes: int
+    payload: Any = None
+    dst_worker: Optional[int] = None
+    expedited: bool = True
+    send_time: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def addressed_to_worker(self) -> bool:
+        """Whether the message targets a specific PE (vs. a process)."""
+        return self.dst_worker is not None

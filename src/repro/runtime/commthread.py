@@ -1,0 +1,95 @@
+"""The dedicated communication thread of an SMP process.
+
+Charm++ SMP mode devotes one core per process to a comm thread through
+which *all* of that process's network sends and receives pass. For
+fine-grained traffic this thread is the serializing bottleneck the paper
+dissects in §III-A (PingAck): with ``t`` workers feeding one comm
+thread, send-side service time ``comm_msg_ns + bytes * comm_byte_ns``
+per message bounds throughput, which is why using more processes per
+node (more comm threads) recovers performance.
+
+Modelled as a single work-conserving FIFO server via the virtual-clock
+technique (see :mod:`repro.network.nic`); both directions share the one
+core, which is exactly the contended resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.network.message import NetMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import RuntimeSystem
+
+
+@dataclass
+class CommThreadStats:
+    """Counters for one comm thread."""
+
+    out_messages: int = 0
+    in_messages: int = 0
+    busy_ns: float = 0.0
+    queue_wait_ns: float = 0.0
+
+
+class CommThread:
+    """One process's dedicated communication server.
+
+    Parameters
+    ----------
+    rt:
+        Owning runtime.
+    pid:
+        Global process id this comm thread serves.
+    """
+
+    __slots__ = ("rt", "pid", "stats", "_free", "on_outbound_done")
+
+    def __init__(self, rt: "RuntimeSystem", pid: int) -> None:
+        self.rt = rt
+        self.pid = pid
+        self.stats = CommThreadStats()
+        self._free = 0.0
+        #: Installed by the transport: next hop after send-side service.
+        self.on_outbound_done: Optional[Callable[[NetMessage], None]] = None
+
+    def _serve(self, size_bytes: int) -> float:
+        """Book one message through the FIFO server; return finish time."""
+        now = self.rt.engine.now
+        service = self.rt.costs.comm_service_ns(size_bytes)
+        start = self._free if self._free > now else now
+        self.stats.queue_wait_ns += start - now
+        self._free = start + service
+        self.stats.busy_ns += service
+        return self._free
+
+    def submit_outbound(self, msg: NetMessage) -> None:
+        """A worker handed a message to send; forward it after service."""
+        if self.on_outbound_done is None:
+            raise SimulationError(f"comm thread {self.pid}: no outbound hop installed")
+        self.stats.out_messages += 1
+        done = self._serve(msg.size_bytes)
+        self.rt.engine.at(done, self.on_outbound_done, msg)
+
+    def submit_inbound(self, msg: NetMessage) -> None:
+        """A message arrived for this process; deliver after service."""
+        self.stats.in_messages += 1
+        done = self._serve(msg.size_bytes)
+        self.rt.engine.at(done, self._deliver, msg)
+
+    def _deliver(self, msg: NetMessage) -> None:
+        wid = msg.dst_worker
+        if wid is None:
+            wid = self.rt.process(self.pid).next_receiver()
+        worker = self.rt.worker(wid)
+        # Small enqueue hop from the comm thread into the PE's queue.
+        self.rt.engine.after(self.rt.costs.enqueue_ns, worker.deliver_message, msg)
+
+    @property
+    def backlog_ns(self) -> float:
+        """How far this server is booked beyond 'now'."""
+        now = self.rt.engine.now
+        return max(0.0, self._free - now)

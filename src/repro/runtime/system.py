@@ -1,0 +1,159 @@
+"""The runtime facade: one object wiring the whole simulated machine.
+
+Typical use::
+
+    from repro.machine import delta_machine, delta_costs
+    from repro.runtime import RuntimeSystem
+
+    rt = RuntimeSystem(delta_machine(nodes=2), delta_costs(), seed=1)
+    rt.register_handler("hello", lambda ctx, msg: print(msg.payload))
+    rt.post(0, my_driver_task)
+    stats = rt.run()
+
+Running to event-queue exhaustion is quiescence: applications are
+structured (one-shot conditional flush timers, idle-flush hooks) so that
+a finished run drains naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigError, DeliveryError
+from repro.machine.costs import CostModel
+from repro.machine.topology import MachineConfig
+from repro.network.fabric import Fabric
+from repro.network.nic import Nic
+from repro.runtime.commthread import CommThread
+from repro.runtime.node import Node
+from repro.runtime.proc import Process
+from repro.runtime.transport import Transport
+from repro.runtime.worker import Worker
+from repro.sim.engine import Engine, RunStats
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+
+class RuntimeSystem:
+    """A fully wired simulated cluster.
+
+    Parameters
+    ----------
+    machine:
+        Topology (nodes x processes x workers, SMP or not).
+    costs:
+        Cost model; defaults to the Delta-shaped preset.
+    seed:
+        Root seed for all named RNG streams.
+    tracer:
+        Optional tracer threaded into the engine.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.machine = machine
+        self.costs = costs if costs is not None else CostModel()
+        self.engine = Engine(tracer=tracer)
+        self.rng = RngStreams(seed)
+        self.fabric = Fabric(machine, self.costs)
+        self.transport = Transport(self)
+        self._handlers: Dict[str, Callable] = {}
+
+        self._workers = [Worker(self, w) for w in range(machine.total_workers)]
+        self._processes = [Process(self, p) for p in range(machine.total_processes)]
+        self._nodes = []
+        for n in range(machine.nodes):
+            nics = []
+            for _ in range(machine.nics_per_node):
+                nic = Nic(engine=self.engine, costs=self.costs, node_id=n)
+                nic.sink = self.transport.on_nic_arrival
+                nics.append(nic)
+            self._nodes.append(Node(self, n, nics))
+        if machine.smp:
+            for proc in self._processes:
+                ct = CommThread(self, proc.pid)
+                ct.on_outbound_done = self.transport.after_commthread_out
+                proc.commthread = ct
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+    def worker(self, wid: int) -> Worker:
+        """The worker PE with global id ``wid``."""
+        return self._workers[wid]
+
+    def process(self, pid: int) -> Process:
+        """The process with global id ``pid``."""
+        return self._processes[pid]
+
+    def node(self, node_id: int) -> Node:
+        """The physical node ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def workers(self):
+        """All worker PEs, indexed by global id."""
+        return self._workers
+
+    @property
+    def processes(self):
+        """All processes, indexed by global id."""
+        return self._processes
+
+    @property
+    def nodes(self):
+        """All physical nodes."""
+        return self._nodes
+
+    # ------------------------------------------------------------------
+    # Handler registry
+    # ------------------------------------------------------------------
+    def register_handler(
+        self, kind: str, fn: Callable, *, overwrite: bool = False
+    ) -> None:
+        """Register ``fn(ctx, msg)`` for messages of ``kind``."""
+        if not overwrite and kind in self._handlers:
+            raise ConfigError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = fn
+
+    def handler_for(self, kind: str) -> Callable:
+        """Look up the handler for a message kind."""
+        try:
+            return self._handlers[kind]
+        except KeyError:
+            raise DeliveryError(f"no handler registered for kind {kind!r}") from None
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def post(
+        self,
+        worker_id: int,
+        fn: Callable,
+        *args: Any,
+        delay: float = 0.0,
+        expedited: bool = False,
+    ) -> None:
+        """Schedule task ``fn(ctx, *args)`` on a worker, now or later."""
+        worker = self._workers[worker_id]
+        self.engine.after(delay, self._post_now, worker, fn, args, expedited)
+
+    @staticmethod
+    def _post_now(worker: Worker, fn: Callable, args: tuple, expedited: bool) -> None:
+        worker.post_task(fn, *args, expedited=expedited)
+
+    def run(
+        self, *, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> RunStats:
+        """Run the engine (to quiescence by default)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (ns)."""
+        return self.engine.now

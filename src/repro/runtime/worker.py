@@ -1,0 +1,171 @@
+"""Worker PE: a message-driven server bound to one core.
+
+Each worker owns two task lanes — *expedited* (TramLib messages, per the
+paper's use of Charm++ expedited methods) and *normal* — and processes
+one task at a time. When both lanes drain, the worker fires its idle
+hooks; TramLib registers an idle-flush hook there so partially filled
+buffers are pushed out when the PE has nothing better to do.
+
+If the cost model's ``os_noise_factor`` is non-zero, the first worker of
+every process runs that much slower, modelling the unshielded core that
+absorbs OS daemons and GPU callbacks (§III-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Tuple
+
+from repro.runtime.context import ExecContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.message import NetMessage
+    from repro.runtime.system import RuntimeSystem
+
+
+@dataclass
+class WorkerStats:
+    """Per-PE execution counters."""
+
+    tasks_executed: int = 0
+    busy_ns: float = 0.0
+    idle_transitions: int = 0
+    messages_received: int = 0
+
+
+class Worker:
+    """One processing element (PE).
+
+    Parameters
+    ----------
+    rt:
+        The owning runtime system.
+    wid:
+        Global worker id.
+    """
+
+    __slots__ = (
+        "rt",
+        "wid",
+        "stats",
+        "idle_hooks",
+        "task_hook",
+        "_normal",
+        "_expedited",
+        "_busy",
+        "_noise_mult",
+    )
+
+    def __init__(self, rt: "RuntimeSystem", wid: int) -> None:
+        self.rt = rt
+        self.wid = wid
+        self.stats = WorkerStats()
+        #: Callables ``hook(worker)`` invoked when the PE goes idle.
+        self.idle_hooks: List[Callable[["Worker"], None]] = []
+        #: Optional ``hook(worker, fn, ctx)`` called after each executed
+        #: task (used by :mod:`repro.util.timeline` for trace export).
+        self.task_hook = None
+        self._normal: Deque[Tuple[Callable[..., Any], tuple]] = deque()
+        self._expedited: Deque[Tuple[Callable[..., Any], tuple]] = deque()
+        self._busy = False
+        noise = rt.costs.os_noise_factor
+        is_noisy = noise > 0 and rt.machine.local_rank_of_worker(wid) == 0
+        self._noise_mult = 1.0 + noise if is_noisy else 1.0
+
+    # ------------------------------------------------------------------
+    # Posting work
+    # ------------------------------------------------------------------
+    def post_task(
+        self, fn: Callable[..., Any], *args: Any, expedited: bool = False
+    ) -> None:
+        """Queue a task ``fn(ctx, *args)``; start it if the PE is idle."""
+        lane = self._expedited if expedited else self._normal
+        lane.append((fn, args))
+        if not self._busy:
+            self._start_next()
+
+    def deliver_message(self, msg: "NetMessage", extra_charge_ns: float = 0.0) -> None:
+        """Queue the handler task for an arriving network message.
+
+        ``extra_charge_ns`` is charged before the handler runs — used in
+        non-SMP mode where the worker pays its own receive progress cost.
+        """
+        self.stats.messages_received += 1
+        handler = self.rt.handler_for(msg.kind)
+        self.post_task(
+            self._run_message_handler,
+            handler,
+            msg,
+            extra_charge_ns,
+            expedited=msg.expedited,
+        )
+
+    @staticmethod
+    def _run_message_handler(
+        ctx: ExecContext, handler: Callable, msg: "NetMessage", extra_charge_ns: float
+    ) -> None:
+        if extra_charge_ns:
+            ctx.charge(extra_charge_ns)
+        handler(ctx, msg)
+
+    # ------------------------------------------------------------------
+    # Server loop
+    # ------------------------------------------------------------------
+    def _pop(self):
+        if self._expedited:
+            return self._expedited.popleft()
+        if self._normal:
+            return self._normal.popleft()
+        return None
+
+    def _start_next(self) -> None:
+        task = self._pop()
+        if task is None:
+            was_busy = self._busy
+            self._busy = False
+            if was_busy:
+                self.stats.idle_transitions += 1
+                self._run_idle_hooks()
+            return
+        self._busy = True
+        engine = self.rt.engine
+        ctx = ExecContext(self, engine.now)
+        fn, args = task
+        fn(ctx, *args)
+        cost = ctx.cost * self._noise_mult
+        finish = engine.now + cost
+        for delay, efn, eargs in ctx._emissions:
+            engine.at(finish + delay, efn, *eargs)
+        self.stats.tasks_executed += 1
+        self.stats.busy_ns += cost
+        if self.task_hook is not None:
+            self.task_hook(self, fn, ctx)
+        engine.at(finish, self._on_finish)
+
+    def _on_finish(self) -> None:
+        # _start_next observes _busy=True and either starts the next task
+        # or records the busy->idle transition (firing idle hooks).
+        self._start_next()
+
+    def _run_idle_hooks(self) -> None:
+        for hook in self.idle_hooks:
+            hook(self)
+            if self._busy:
+                return
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether the PE is currently executing a task."""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Tasks waiting in both lanes."""
+        return len(self._normal) + len(self._expedited)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Worker {self.wid} busy={self._busy} queued={self.queued}>"

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event simulation (DES) substrate.
+
+This package is the foundation of the whole reproduction: simulated time
+replaces wall-clock time, so all performance claims are made about the
+*model* rather than about the Python interpreter (see DESIGN.md §2).
+
+Public surface
+--------------
+:class:`~repro.sim.engine.Engine`
+    The event loop: schedule callbacks at absolute or relative simulated
+    times, run to exhaustion or to a horizon.
+:class:`~repro.sim.event.Event`
+    A cancellable scheduled callback.
+:class:`~repro.sim.rng.RngStreams`
+    Named, independently-seeded ``numpy`` generator streams so that every
+    component draws from its own reproducible stream.
+:mod:`~repro.sim.simtime`
+    Time-unit constants (nanosecond base) and formatting helpers.
+:class:`~repro.sim.trace.Tracer`
+    Optional structured event tracing.
+"""
+
+from repro.sim.engine import Engine, RunStats
+from repro.sim.event import Event
+from repro.sim.queue import EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.simtime import MS, NS, SEC, US, fmt_time
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventQueue",
+    "MS",
+    "NS",
+    "RngStreams",
+    "RunStats",
+    "SEC",
+    "Tracer",
+    "US",
+    "fmt_time",
+]

@@ -1,0 +1,191 @@
+"""The discrete-event simulation engine.
+
+The engine owns the simulated clock and the event queue. Components
+schedule callbacks with :meth:`Engine.at` / :meth:`Engine.after`; the
+callbacks mutate component state and schedule further events. Running to
+event-queue exhaustion is the simulator's notion of *quiescence* — the
+applications in :mod:`repro.apps` are written so that a finished run
+drains naturally (flush timers are one-shot and conditional).
+
+Determinism
+-----------
+Two runs with the same configuration and seeds execute the identical
+event sequence: ties in firing time are broken by insertion order, and
+all randomness flows through :class:`repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.event import Event
+from repro.sim.queue import EventQueue
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class RunStats:
+    """Summary of one :meth:`Engine.run` call."""
+
+    events_fired: int = 0
+    end_time: float = 0.0
+    stopped_early: bool = False
+    horizon_reached: bool = False
+
+    def merge(self, other: "RunStats") -> None:
+        """Fold a subsequent run's stats into this one."""
+        self.events_fired += other.events_fired
+        self.end_time = max(self.end_time, other.end_time)
+        self.stopped_early = self.stopped_early or other.stopped_early
+        self.horizon_reached = self.horizon_reached or other.horizon_reached
+
+
+@dataclass
+class Engine:
+    """Deterministic discrete-event engine.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; when provided, every
+        fired event is recorded (category ``"event"``).
+    """
+
+    tracer: Optional[Tracer] = None
+    now: float = 0.0
+    _queue: EventQueue = field(default_factory=EventQueue, repr=False)
+    _seq: int = 0
+    _running: bool = False
+    _stop_requested: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` is in the past (strictly before ``now``).
+        """
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} (now={self.now}): time is in the past"
+            )
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        self._queue.push(ev)
+        return ev
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` ns from the current time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self.at(self.now + delay, fn, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event.
+
+        Safe no-op if the event already fired, was cancelled, or was
+        requeued past a run horizon (handles do not survive horizon
+        requeueing — the copy will still fire).
+        """
+        if event.alive:
+            event.cancel()
+            if event.in_queue:
+                self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live events waiting to fire."""
+        return self._queue.live_count
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next live event, or ``None``."""
+        return self._queue.peek_time()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> RunStats:
+        """Process events until exhaustion, a horizon, or :meth:`stop`.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            this time; the clock is advanced to ``until``.
+        max_events:
+            Safety valve for tests: abort with :class:`SimulationError`
+            after this many events (catches accidental infinite loops).
+
+        Returns
+        -------
+        RunStats
+            Count of fired events and the final clock value.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        stats = RunStats()
+        queue = self._queue
+        tracer = self.tracer
+        try:
+            while True:
+                if self._stop_requested:
+                    stats.stopped_early = True
+                    break
+                ev = queue.pop()
+                if ev is None:
+                    break
+                if until is not None and ev.time > until:
+                    # Put it back: it belongs to a later run() call.
+                    ev_copy = Event(ev.time, ev.seq, ev.fn, ev.args)
+                    queue.push(ev_copy)
+                    self.now = until
+                    stats.horizon_reached = True
+                    break
+                if ev.time < self.now:  # pragma: no cover - invariant guard
+                    raise SimulationError(
+                        f"time went backwards: event at {ev.time}, now {self.now}"
+                    )
+                self.now = ev.time
+                stats.events_fired += 1
+                if max_events is not None and stats.events_fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; probable runaway loop"
+                    )
+                if tracer is not None and tracer.wants("event"):
+                    tracer.record(
+                        "event", t=self.now, fn=getattr(ev.fn, "__qualname__", "?")
+                    )
+                ev.fn(*ev.args)
+        finally:
+            self._running = False
+        stats.end_time = self.now
+        return stats
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after this event."""
+        self._stop_requested = True
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for test reuse)."""
+        if self._running:
+            raise SimulationError("cannot reset a running engine")
+        self._queue = EventQueue()
+        self.now = 0.0
+        self._seq = 0
+        self._stop_requested = False

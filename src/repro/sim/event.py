@@ -1,0 +1,58 @@
+"""Cancellable scheduled events.
+
+An :class:`Event` pairs a firing time with a callback. Ordering is by
+``(time, seq)`` where ``seq`` is a monotonically increasing sequence
+number assigned by the engine, making the simulation fully deterministic
+even when many events share a timestamp (FIFO among ties).
+
+Cancellation is *lazy*: ``cancel()`` only clears the ``alive`` flag; the
+engine discards dead events when they reach the head of the queue. This
+keeps cancellation O(1), which matters because flush timers are cancelled
+far more often than they fire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A single scheduled callback in the simulation.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (ns) at which the event fires.
+    seq:
+        Engine-assigned tie-breaking sequence number.
+    fn:
+        Callback invoked as ``fn(*args)`` when the event fires.
+    alive:
+        ``False`` once cancelled; dead events are skipped by the engine.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "alive", "in_queue")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+        #: Maintained by the queue: whether this event object currently
+        #: sits in the heap (guards live-count accounting on cancel).
+        self.in_queue = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be silently dropped by the engine."""
+        self.alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.alive else " (cancelled)"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.1f} seq={self.seq} fn={name}{state}>"

@@ -1,0 +1,101 @@
+"""Binary-heap event queue with stable ordering and lazy deletion.
+
+A thin, well-tested wrapper over :mod:`heapq` that the engine owns. It
+exists as its own module so the ordering/lazy-deletion invariants can be
+unit- and property-tested in isolation (see ``tests/sim/test_queue.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.sim.event import Event
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``.
+
+    Dead (cancelled) events are dropped lazily when they surface at the
+    head; :attr:`live_count` tracks how many live events remain so that
+    emptiness checks do not depend on the number of cancelled corpses in
+    the heap.
+    """
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        """Insert a live event. O(log n)."""
+        heapq.heappush(self._heap, event)
+        event.in_queue = True
+        self._live += 1
+
+    def note_cancelled(self) -> None:
+        """Account for one event in the heap having been cancelled.
+
+        The engine calls this when it cancels an event so that
+        :attr:`live_count` stays exact; the corpse stays in the heap until
+        it surfaces.
+        """
+        self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest *live* event, or ``None``.
+
+        Cancelled events encountered at the head are discarded.
+        """
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            ev.in_queue = False
+            if ev.alive:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty.
+
+        Discards dead events at the head as a side effect.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0].alive:
+                return heap[0].time
+            heapq.heappop(heap).in_queue = False
+        return None
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-cancelled) events currently queued."""
+        return self._live
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def compact(self) -> None:
+        """Rebuild the heap dropping cancelled events.
+
+        Optional maintenance; useful if a workload cancels vastly more
+        events than it fires (e.g. per-item flush timers).
+        """
+        survivors = []
+        for ev in self._heap:
+            if ev.alive:
+                survivors.append(ev)
+            else:
+                ev.in_queue = False
+        self._heap = survivors
+        heapq.heapify(self._heap)
+
+    @property
+    def raw_size(self) -> int:
+        """Total heap entries including cancelled corpses (for tests)."""
+        return len(self._heap)

@@ -1,0 +1,206 @@
+"""Aggregation buffers.
+
+Two implementations back the two fidelity levels (see
+:mod:`repro.tram.item`): :class:`ItemBuffer` stores actual
+:class:`~repro.tram.item.Item` objects; :class:`CountBuffer` stores only
+per-slot counts plus timestamp moments, with an exact
+largest-remainder proportional split when a full ``g``-item message is
+carved out of an over-full buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.tram.item import BulkBatch, Item
+
+
+def proportional_take(arr: np.ndarray, k: int, total: int) -> np.ndarray:
+    """Take ``k`` of ``total`` items from slots ``arr`` proportionally.
+
+    Uses the largest-remainder method; deterministic (ties broken by
+    slot index) and guaranteed to satisfy ``0 <= take <= arr`` and
+    ``take.sum() == k``.
+    """
+    if k > total:
+        raise SimulationError(f"cannot take {k} of {total}")
+    if k == total:
+        return arr.copy()
+    prod = arr * k
+    take = prod // total
+    deficit = int(k - take.sum())
+    if deficit:
+        rem = prod - take * total
+        # Only slots with rem > 0 are eligible and there are always at
+        # least ``deficit`` of them; ceil never exceeds arr when k<total.
+        order = np.argsort(-rem, kind="stable")[:deficit]
+        take[order] += 1
+    return take
+
+
+class ItemBuffer:
+    """Fixed-capacity buffer of real :class:`Item` objects."""
+
+    __slots__ = ("capacity", "items", "timer_event", "dest")
+
+    def __init__(self, capacity: int, dest=None) -> None:
+        self.capacity = capacity
+        self.items: List[Item] = []
+        #: Armed flush-timeout event, managed by the scheme.
+        self.timer_event = None
+        #: ``(dst_process, dst_worker_or_None)`` routing of this buffer.
+        self.dest = dest
+
+    def add(self, item: Item) -> bool:
+        """Append an item; return True when the buffer reached capacity."""
+        self.items.append(item)
+        return len(self.items) >= self.capacity
+
+    def drain(self, k: Optional[int] = None) -> List[Item]:
+        """Remove and return the oldest ``k`` items (all if ``None``)."""
+        if k is None or k >= len(self.items):
+            out, self.items = self.items, []
+            return out
+        out = self.items[:k]
+        del self.items[:k]
+        return out
+
+    @property
+    def count(self) -> int:
+        return len(self.items)
+
+    @property
+    def empty(self) -> bool:
+        return not self.items
+
+    def min_priority(self) -> Optional[float]:
+        """Smallest item priority present (None when unprioritized)."""
+        priorities = [i.priority for i in self.items if i.priority is not None]
+        return min(priorities) if priorities else None
+
+
+class CountBuffer:
+    """Fixed-capacity buffer of item *counts* (bulk/flow mode).
+
+    Parameters
+    ----------
+    capacity:
+        ``g`` — items before the buffer is considered full.
+    dst_ids:
+        Global worker ids of the destination slots tracked (``None`` for
+        a single-destination buffer, e.g. WW).
+    src_ids:
+        Global worker ids of the possible contributors (``None`` for a
+        single-source buffer).
+    """
+
+    __slots__ = (
+        "capacity",
+        "count",
+        "dst_ids",
+        "dst_counts",
+        "src_ids",
+        "src_counts",
+        "t_sum",
+        "t_min",
+        "timer_event",
+        "dest",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        dst_ids: Optional[np.ndarray] = None,
+        src_ids: Optional[np.ndarray] = None,
+        dest=None,
+    ) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self.dst_ids = dst_ids
+        self.dst_counts = (
+            np.zeros(len(dst_ids), dtype=np.int64) if dst_ids is not None else None
+        )
+        self.src_ids = src_ids
+        self.src_counts = (
+            np.zeros(len(src_ids), dtype=np.int64) if src_ids is not None else None
+        )
+        self.t_sum = 0.0
+        self.t_min = float("inf")
+        self.timer_event = None
+        self.dest = dest
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def full(self) -> bool:
+        return self.count >= self.capacity
+
+    def add_counts(
+        self,
+        n: int,
+        now: float,
+        dst_slot_counts: Optional[np.ndarray] = None,
+        src_slot: Optional[int] = None,
+    ) -> None:
+        """Account ``n`` items created at ``now``.
+
+        ``dst_slot_counts`` distributes them over destination slots (must
+        sum to ``n``); ``src_slot`` attributes them to one contributor.
+        """
+        if n <= 0:
+            raise SimulationError(f"add_counts with n={n}")
+        self.count += n
+        self.t_sum += n * now
+        if now < self.t_min:
+            self.t_min = now
+        if self.dst_counts is not None:
+            if dst_slot_counts is None:
+                raise SimulationError("buffer tracks destinations; counts required")
+            self.dst_counts += dst_slot_counts
+        if self.src_counts is not None:
+            if src_slot is None:
+                raise SimulationError("buffer tracks sources; src_slot required")
+            self.src_counts[src_slot] += n
+
+    def take(self, k: int) -> BulkBatch:
+        """Carve ``k`` items out of the buffer as a :class:`BulkBatch`.
+
+        Destination and source marginals are split proportionally
+        (largest remainder); timestamp moments are split pro-rata.
+        """
+        if k <= 0 or k > self.count:
+            raise SimulationError(f"take({k}) from buffer of {self.count}")
+        frac = k / self.count
+        t_sum_part = self.t_sum * frac
+        dst_part = None
+        if self.dst_counts is not None:
+            dst_part = proportional_take(self.dst_counts, k, self.count)
+            self.dst_counts -= dst_part
+        src_part = None
+        if self.src_counts is not None:
+            src_part = proportional_take(self.src_counts, k, self.count)
+            self.src_counts -= src_part
+        batch = BulkBatch(
+            count=k,
+            dst_ids=self.dst_ids,
+            dst_counts=dst_part,
+            src_ids=self.src_ids,
+            src_counts=src_part,
+            t_sum=t_sum_part,
+            t_min=self.t_min,
+        )
+        self.count -= k
+        self.t_sum -= t_sum_part
+        if self.count == 0:
+            self.t_sum = 0.0
+            self.t_min = float("inf")
+        return batch
+
+    def take_all(self) -> BulkBatch:
+        """Drain the whole buffer (flush path)."""
+        return self.take(self.count)

@@ -1,0 +1,468 @@
+"""Shared machinery of all aggregation schemes.
+
+The base class owns everything that is identical across schemes —
+destination-side processing (grouping, section fan-out, delivery,
+latency accounting), local-bypass of intra-process items, flush
+plumbing (explicit, idle-hook, timer, priority), message emission with
+resizing, and statistics — so each concrete scheme only decides *where
+buffers live* and *how inserts find them* (the actual design axis the
+paper studies).
+
+Handler wiring: each scheme instance registers two message kinds under a
+unique namespace — ``<ns>.w`` for worker-addressed batches (WW/direct)
+and ``<ns>.p`` for process-addressed batches (WPs/WsP/PP). Multiple
+instances can coexist on one runtime (index-gather uses one for
+requests, one for responses).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.message import NetMessage
+from repro.tram.buffer import CountBuffer, ItemBuffer, proportional_take
+from repro.tram.config import TramConfig
+from repro.tram.item import BulkBatch, Item, ItemBatch
+from repro.tram.stats import LatencyAggregate, TramStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import ExecContext
+    from repro.runtime.system import RuntimeSystem
+
+Buffer = Union[ItemBuffer, CountBuffer]
+
+_instance_ids = itertools.count()
+
+
+class SchemeBase:
+    """Common TramLib behaviour; subclasses choose buffer placement.
+
+    Parameters
+    ----------
+    rt:
+        The runtime to attach to (handlers are registered immediately).
+    config:
+        Buffer depth, item size and flush behaviour.
+    deliver_item:
+        ``fn(ctx, item)`` invoked at the destination PE for every item
+        inserted through :meth:`insert` (per-item mode).
+    deliver_bulk:
+        ``fn(ctx, dst_worker, count, src_ids, src_counts)`` invoked at
+        the destination PE for items inserted through
+        :meth:`insert_bulk` (flow mode). ``src_ids``/``src_counts`` are
+        aligned numpy arrays attributing the items to source workers.
+    """
+
+    #: Scheme name as used in the paper (set by subclasses).
+    name = "?"
+    #: Whether source buffers are addressed per destination worker
+    #: (WW / direct) rather than per destination process.
+    worker_addressed = False
+
+    def __init__(
+        self,
+        rt: "RuntimeSystem",
+        config: TramConfig,
+        deliver_item: Optional[Callable] = None,
+        deliver_bulk: Optional[Callable] = None,
+    ) -> None:
+        if deliver_item is None and deliver_bulk is None:
+            raise ConfigError("provide deliver_item and/or deliver_bulk")
+        self.rt = rt
+        self.config = config
+        self.deliver_item = deliver_item
+        self.deliver_bulk = deliver_bulk
+        self.stats = TramStats(
+            latency=LatencyAggregate(config.latency_sample, seed=rt.rng.root_seed)
+        )
+        self._t = rt.machine.workers_per_process
+        #: Allocated buffer bytes per owner (worker id, or ("p", pid) for
+        #: shared process buffers) — drives the cache-footprint penalty.
+        self._footprint: dict = {}
+        self._ns = f"tram/{next(_instance_ids)}/{self.name}"
+        rt.register_handler(self._ns + ".w", self._on_worker_msg)
+        rt.register_handler(self._ns + ".p", self._on_process_msg)
+        if config.idle_flush:
+            for worker in rt.workers:
+                worker.idle_hooks.append(self._idle_hook)
+
+    # ==================================================================
+    # Public API (called from inside worker handlers)
+    # ==================================================================
+    def insert(
+        self,
+        ctx: "ExecContext",
+        dst: int,
+        payload=None,
+        priority: Optional[float] = None,
+    ) -> None:
+        """Hand one item to TramLib (per-item fidelity).
+
+        The item is delivered to ``deliver_item`` on the destination PE,
+        eventually — when its buffer fills, or on a flush.
+        """
+        src = ctx.worker.wid
+        item = Item(dst, src, ctx.now, payload, priority)
+        self.stats.items_inserted += 1
+        machine = self.rt.machine
+        if self.config.bypass_local and machine.same_process(src, dst):
+            self.stats.items_bypassed_local += 1
+            ctx.charge(self.rt.costs.local_msg_ns)
+            ctx.emit(self._post, dst, self._section_items_task, [item])
+            return
+        self._insert_item(ctx, src, item)
+
+    def insert_bulk(self, ctx: "ExecContext", counts: np.ndarray) -> None:
+        """Hand many items to TramLib at once (flow fidelity).
+
+        Parameters
+        ----------
+        counts:
+            Integer array of length ``total_workers``: how many items go
+            to each destination worker. The array is consumed (copied
+            internally); items are timestamped at the task's start time.
+        """
+        src = ctx.worker.wid
+        counts = np.asarray(counts, dtype=np.int64).copy()
+        total = int(counts.sum())
+        if total == 0:
+            return
+        self.stats.items_inserted += total
+        machine = self.rt.machine
+        if self.config.bypass_local:
+            own = machine.workers_of_process(machine.process_of_worker(src))
+            lo, hi = own.start, own.stop
+            local = counts[lo:hi]
+            n_local = int(local.sum())
+            if n_local:
+                now = ctx.now
+                for rank in np.nonzero(local)[0]:
+                    dst = lo + int(rank)
+                    n = int(local[rank])
+                    ctx.charge(self.rt.costs.local_msg_ns)
+                    ctx.emit(
+                        self._post,
+                        dst,
+                        self._section_bulk_task,
+                        n,
+                        np.array([src]),
+                        np.array([n]),
+                        n * now,
+                        now,
+                    )
+                self.stats.items_bypassed_local += n_local
+                counts[lo:hi] = 0
+                total -= n_local
+        if total:
+            self._insert_bulk(ctx, src, counts, total)
+
+    def flush(self, ctx: "ExecContext") -> None:
+        """Flush every buffer owned by the calling worker.
+
+        For worker-owned schemes this is the paper's per-PE flush call;
+        for PP it flushes the calling worker's *process* buffers (shared
+        buffers belong to everyone).
+        """
+        self.stats.flushes_requested += 1
+        self._flush_worker(ctx, ctx.worker.wid)
+
+    def flush_when_done(self, ctx: "ExecContext") -> None:
+        """End-of-phase flush: the paper's per-PE flush call.
+
+        For worker-owned buffers this equals :meth:`flush`. PP overrides
+        it with process-coordinated semantics (Charm++ ``doneInserting``
+        style): shared buffers flush once, after *all* of the process's
+        workers have signalled completion — giving the §III-C bound of
+        at most ``N`` flush messages per process.
+        """
+        self.flush(ctx)
+
+    def pending_items(self) -> int:
+        """Items sitting in buffers, not yet sent (for tests/QD checks)."""
+        return sum(buf.count for buf in self._all_buffers())
+
+    # ==================================================================
+    # Subclass interface
+    # ==================================================================
+    def _insert_item(self, ctx, src: int, item: Item) -> None:
+        raise NotImplementedError
+
+    def _insert_bulk(self, ctx, src: int, counts: np.ndarray, total: int) -> None:
+        raise NotImplementedError
+
+    def _flush_worker(self, ctx, wid: int) -> None:
+        raise NotImplementedError
+
+    def _has_pending(self, wid: int) -> bool:
+        raise NotImplementedError
+
+    def _all_buffers(self) -> Iterable[Buffer]:
+        raise NotImplementedError
+
+    # ==================================================================
+    # Buffer lifecycle helpers (used by subclasses)
+    # ==================================================================
+    def _new_item_buffer(
+        self, dest: Tuple[int, Optional[int]], owner=None
+    ) -> ItemBuffer:
+        self._account_buffer(owner)
+        return ItemBuffer(self.config.buffer_items, dest=dest)
+
+    def _new_count_buffer(
+        self,
+        dest: Tuple[int, Optional[int]],
+        dst_ids: Optional[np.ndarray] = None,
+        src_ids: Optional[np.ndarray] = None,
+        owner=None,
+    ) -> CountBuffer:
+        self._account_buffer(owner)
+        return CountBuffer(
+            self.config.buffer_items, dst_ids=dst_ids, src_ids=src_ids, dest=dest
+        )
+
+    def _account_buffer(self, owner=None) -> None:
+        nbytes = self.config.buffer_items * self.config.item_bytes
+        self.stats.buffers_allocated += 1
+        self.stats.buffer_bytes_allocated += nbytes
+        if owner is not None:
+            self._footprint[owner] = self._footprint.get(owner, 0) + nbytes
+
+    def _insert_penalty(self, owner) -> float:
+        """Cache-footprint multiplier for inserts by this owner."""
+        return self.rt.costs.cache_penalty(self._footprint.get(owner, 0))
+
+    # ==================================================================
+    # Sending
+    # ==================================================================
+    def _drain_full(self, ctx, buf: Buffer) -> None:
+        """Send as many full ``g``-item messages as the buffer holds."""
+        g = self.config.buffer_items
+        while buf.count >= g:
+            self._send_chunk(ctx, buf, g, full=True)
+
+    def _send_chunk(self, ctx, buf: Buffer, k: int, *, full: bool) -> None:
+        """Carve ``k`` items (or everything, if fewer) into one message."""
+        k = min(k, buf.count)
+        if k == 0:
+            return
+        if isinstance(buf, ItemBuffer):
+            items = buf.drain(k)
+            payload: Union[ItemBatch, BulkBatch] = ItemBatch(items)
+            count = len(items)
+        else:
+            payload = buf.take(k)
+            count = payload.count
+        if buf.empty and buf.timer_event is not None:
+            self.rt.engine.cancel(buf.timer_event)
+            buf.timer_event = None
+        dst_process, dst_worker = buf.dest
+        self._emit_message(ctx, payload, count, dst_process, dst_worker, full=full)
+
+    def _emit_message(
+        self,
+        ctx,
+        payload,
+        count: int,
+        dst_process: int,
+        dst_worker: Optional[int],
+        *,
+        full: bool,
+    ) -> None:
+        """Package a batch and release it at task completion."""
+        costs = self.rt.costs
+        self._prepare_payload(ctx, payload, count)
+        size = costs.message_bytes(count, self.config.item_bytes)
+        kind = self._ns + (".w" if dst_worker is not None else ".p")
+        msg = NetMessage(
+            kind=kind,
+            src_worker=ctx.worker.wid,
+            dst_process=dst_process,
+            dst_worker=dst_worker,
+            size_bytes=size,
+            payload=payload,
+            expedited=self.config.expedited,
+        )
+        ctx.charge(costs.pack_msg_ns)
+        if not self.rt.machine.smp:
+            ctx.charge(costs.nonsmp_send_service_ns(size))
+        if full:
+            self.stats.messages_full += 1
+        else:
+            self.stats.messages_flush += 1
+        self.stats.bytes_sent += size
+        ctx.emit(self.rt.transport.send, msg)
+
+    def _prepare_payload(self, ctx, payload, count: int) -> None:
+        """Hook for source-side grouping (overridden by WsP)."""
+
+    # ==================================================================
+    # Flush plumbing
+    # ==================================================================
+    def _idle_hook(self, worker) -> None:
+        if self._has_pending(worker.wid):
+            worker.post_task(self._flush_task)
+
+    def _flush_task(self, ctx) -> None:
+        self._flush_worker(ctx, ctx.worker.wid)
+
+    def _arm_timer(self, buf: Buffer, owner_wid: int) -> None:
+        timeout = self.config.flush_timeout_ns
+        if timeout is None or buf.timer_event is not None or buf.empty:
+            return
+        buf.timer_event = self.rt.engine.after(
+            timeout, self._timer_fire, buf, owner_wid
+        )
+
+    def _timer_fire(self, buf: Buffer, owner_wid: int) -> None:
+        buf.timer_event = None
+        if not buf.empty:
+            self.rt.worker(owner_wid).post_task(self._flush_buffer_task, buf)
+
+    def _flush_buffer_task(self, ctx, buf: Buffer) -> None:
+        if not buf.empty:
+            self._send_chunk(ctx, buf, buf.count, full=False)
+
+    def _maybe_priority_flush(self, ctx, buf: Buffer, item: Item) -> bool:
+        """Priority-aware flushing (paper future work): urgent item ->
+        flush its buffer immediately. Returns True if flushed."""
+        threshold = self.config.priority_threshold
+        if (
+            threshold is not None
+            and item.priority is not None
+            and item.priority <= threshold
+            and not buf.empty
+        ):
+            self.stats.priority_flushes += 1
+            self._send_chunk(ctx, buf, buf.count, full=False)
+            return True
+        return False
+
+    # ==================================================================
+    # Destination side
+    # ==================================================================
+    def _post(self, wid: int, fn, *args) -> None:
+        """Emission target: queue a section task with the right lane."""
+        self.rt.worker(wid).post_task(fn, *args, expedited=self.config.expedited)
+
+    def _on_worker_msg(self, ctx, msg: NetMessage) -> None:
+        """Worker-addressed batch: everything is for this PE."""
+        payload = msg.payload
+        if isinstance(payload, ItemBatch):
+            self._deliver_items_here(ctx, payload.items)
+        else:
+            src_ids, src_counts = self._src_breakdown(msg, payload)
+            self._deliver_bulk_here(
+                ctx, payload.count, src_ids, src_counts, payload.t_sum, payload.t_min
+            )
+
+    def _on_process_msg(self, ctx, msg: NetMessage) -> None:
+        """Process-addressed batch: group by PE, fan out sections."""
+        payload = msg.payload
+        costs = self.rt.costs
+        me = ctx.worker.wid
+        if isinstance(payload, ItemBatch):
+            if payload.grouped:
+                ctx.charge(costs.group_elem_ns * self._t)
+                sections = payload.sections
+            else:
+                ctx.charge(costs.group_cost_ns(payload.count, self._t))
+                self.stats.group_elements += payload.count + self._t
+                by_dst = defaultdict(list)
+                for item in payload.items:
+                    by_dst[item.dst].append(item)
+                sections = list(by_dst.items())
+            for dst, items in sections:
+                if dst == me:
+                    self._deliver_items_here(ctx, items)
+                else:
+                    ctx.charge(costs.local_msg_ns)
+                    self.stats.local_sections += 1
+                    ctx.emit(self._post, dst, self._section_items_task, items)
+            return
+
+    # -- bulk process-addressed ----------------------------------------
+        if payload.grouped:
+            ctx.charge(costs.group_elem_ns * self._t)
+        else:
+            ctx.charge(costs.group_cost_ns(payload.count, self._t))
+            self.stats.group_elements += payload.count + self._t
+        src_ids, src_counts = self._src_breakdown(msg, payload)
+        remaining_src = src_counts.copy()
+        remaining_total = payload.count
+        dst_ids = payload.dst_ids
+        dst_counts = payload.dst_counts
+        mean_t = payload.t_sum / payload.count
+        for slot in np.nonzero(dst_counts)[0]:
+            dst = int(dst_ids[slot])
+            n = int(dst_counts[slot])
+            section_src = proportional_take(remaining_src, n, remaining_total)
+            remaining_src = remaining_src - section_src
+            remaining_total -= n
+            if dst == me:
+                self._deliver_bulk_here(
+                    ctx, n, src_ids, section_src, n * mean_t, payload.t_min
+                )
+            else:
+                ctx.charge(costs.local_msg_ns)
+                self.stats.local_sections += 1
+                ctx.emit(
+                    self._post,
+                    dst,
+                    self._section_bulk_task,
+                    n,
+                    src_ids,
+                    section_src,
+                    n * mean_t,
+                    payload.t_min,
+                )
+
+    def _src_breakdown(self, msg: NetMessage, payload: BulkBatch):
+        if payload.src_ids is not None:
+            return payload.src_ids, payload.src_counts
+        return (
+            np.array([msg.src_worker], dtype=np.int64),
+            np.array([payload.count], dtype=np.int64),
+        )
+
+    # -- final delivery -------------------------------------------------
+    def _section_items_task(self, ctx, items) -> None:
+        self._deliver_items_here(ctx, items)
+
+    def _deliver_items_here(self, ctx, items) -> None:
+        costs = self.rt.costs
+        now = ctx.now
+        ctx.charge(costs.handler_ns * len(items))
+        latency = self.stats.latency
+        deliver = self.deliver_item
+        if deliver is None:
+            raise ConfigError(
+                f"{self.name}: per-item insert used without deliver_item callback"
+            )
+        self.stats.items_delivered += len(items)
+        for item in items:
+            latency.record(now - item.created)
+            deliver(ctx, item)
+
+    def _section_bulk_task(
+        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float
+    ) -> None:
+        self._deliver_bulk_here(ctx, count, src_ids, src_counts, t_sum, t_min)
+
+    def _deliver_bulk_here(
+        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float
+    ) -> None:
+        costs = self.rt.costs
+        ctx.charge(costs.handler_ns * count)
+        self.stats.items_delivered += count
+        self.stats.latency.record_bulk(count, t_sum, t_min, ctx.now)
+        deliver = self.deliver_bulk
+        if deliver is None:
+            raise ConfigError(
+                f"{self.name}: bulk insert used without deliver_bulk callback"
+            )
+        deliver(ctx, ctx.worker.wid, count, src_ids, src_counts)

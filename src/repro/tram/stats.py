@@ -1,0 +1,144 @@
+"""Per-scheme statistics: the paper's two metrics and their inputs.
+
+**Overhead** shows up as message/byte counts and the simulated run time;
+**latency** is tracked per delivered item — exactly (mean/min/max via
+moments) plus optionally a deterministic reservoir sample for
+percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class LatencyAggregate:
+    """Exact moments + optional reservoir sample of item latencies."""
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng", "_seen")
+
+    def __init__(self, sample_size: int = 0, seed: int = 0) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._reservoir = (
+            np.empty(sample_size, dtype=np.float64) if sample_size else None
+        )
+        self._rng = np.random.default_rng(seed) if sample_size else None
+        self._seen = 0
+
+    def record(self, latency_ns: float, weight: int = 1) -> None:
+        """Record ``weight`` items with the given (mean) latency."""
+        self.count += weight
+        self.total += latency_ns * weight
+        if latency_ns < self.min:
+            self.min = latency_ns
+        if latency_ns > self.max:
+            self.max = latency_ns
+        if self._reservoir is not None:
+            self._sample(latency_ns, weight)
+
+    def record_bulk(self, count: int, t_sum: float, t_min: float, now: float) -> None:
+        """Record a bulk delivery from timestamp moments.
+
+        Mean latency is exact (``now*count - t_sum``); min/max use the
+        batch mean and the oldest item respectively.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += now * count - t_sum
+        mean = now - t_sum / count
+        if mean < self.min:
+            self.min = mean
+        oldest = now - t_min
+        if oldest > self.max:
+            self.max = oldest
+        if self._reservoir is not None:
+            self._sample(mean, count)
+
+    def _sample(self, value: float, weight: int) -> None:
+        res = self._reservoir
+        cap = len(res)
+        for _ in range(min(weight, 4)):  # cap per-call work
+            self._seen += 1
+            if self._seen <= cap:
+                res[self._seen - 1] = value
+            else:
+                j = int(self._rng.integers(0, self._seen))
+                if j < cap:
+                    res[j] = value
+
+    @property
+    def mean(self) -> float:
+        """Mean item latency (ns); 0 when nothing recorded."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate percentile from the reservoir (None if disabled)."""
+        if self._reservoir is None or self._seen == 0:
+            return None
+        filled = self._reservoir[: min(self._seen, len(self._reservoir))]
+        return float(np.percentile(filled, q))
+
+
+@dataclass
+class TramStats:
+    """Counters for one scheme instance."""
+
+    items_inserted: int = 0
+    items_delivered: int = 0
+    items_bypassed_local: int = 0
+    #: Messages sent because a buffer filled.
+    messages_full: int = 0
+    #: Messages sent by explicit / idle / timer / priority flushes.
+    messages_flush: int = 0
+    bytes_sent: int = 0
+    #: Items inserted through the PP shared-buffer atomic path.
+    atomic_inserts: int = 0
+    #: Elements processed by grouping/sorting passes (source or dest).
+    group_elements: int = 0
+    #: Within-process section sends performed at destinations.
+    local_sections: int = 0
+    #: Intra-node forwards performed by node-level schemes (WNs/NN).
+    messages_forwarded: int = 0
+    #: Distinct buffers ever allocated and their total capacity in bytes
+    #: (the §III-C memory-overhead measurement).
+    buffers_allocated: int = 0
+    buffer_bytes_allocated: int = 0
+    flushes_requested: int = 0
+    #: Buffer flushes triggered by the priority threshold (future-work
+    #: feature); these messages are also counted in messages_flush.
+    priority_flushes: int = 0
+    latency: LatencyAggregate = field(default_factory=LatencyAggregate)
+
+    @property
+    def messages_sent(self) -> int:
+        """Total aggregated messages that left source PEs."""
+        return self.messages_full + self.messages_flush
+
+    @property
+    def pending_items(self) -> int:
+        """Items inserted but not yet delivered (nor bypassed locally)."""
+        return self.items_inserted - self.items_delivered
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot used by the harness reports."""
+        return {
+            "items_inserted": self.items_inserted,
+            "items_delivered": self.items_delivered,
+            "messages_sent": self.messages_sent,
+            "messages_full": self.messages_full,
+            "messages_flush": self.messages_flush,
+            "bytes_sent": self.bytes_sent,
+            "mean_latency_ns": self.latency.mean,
+            "max_latency_ns": self.latency.max if self.latency.count else 0.0,
+            "atomic_inserts": self.atomic_inserts,
+            "group_elements": self.group_elements,
+            "buffer_bytes_allocated": self.buffer_bytes_allocated,
+            "latency_p50_ns": self.latency.percentile(50),
+            "latency_p99_ns": self.latency.percentile(99),
+        }

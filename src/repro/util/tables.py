@@ -1,0 +1,39 @@
+"""Plain-text table rendering for harness reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width table with a header separator.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  -----
+    1  2.500
+    """
+    cells: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Export simulation traces to the Chrome trace-event format.
+
+Load the produced JSON in ``chrome://tracing`` / Perfetto to inspect a
+run visually: one row per worker PE with its task executions. Intended
+for debugging small runs (tracing is off by default — it is on the
+simulator's hot path).
+
+Usage::
+
+    tracer = Tracer(categories=["task"])
+    rt = RuntimeSystem(machine, tracer=tracer)
+    attach_task_tracing(rt, tracer)
+    ... run ...
+    write_chrome_trace(tracer, "run.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Union
+
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import RuntimeSystem
+
+
+def attach_task_tracing(rt: "RuntimeSystem", tracer: Tracer) -> None:
+    """Record every worker task execution into ``tracer``.
+
+    Installs each worker's ``task_hook``; remove by setting the hooks
+    back to ``None``.
+    """
+
+    def hook(worker, fn, ctx):
+        tracer.record(
+            "task",
+            wid=worker.wid,
+            name=getattr(fn, "__qualname__", "task"),
+            start=ctx.start,
+            dur=ctx.cost,
+        )
+
+    for worker in rt.workers:
+        worker.task_hook = hook
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """Convert captured ``task`` records to trace-event dicts."""
+    events = []
+    for _, fields in tracer.records("task"):
+        events.append(
+            {
+                "name": fields.get("name", "task"),
+                "cat": "task",
+                "ph": "X",  # complete event
+                "ts": fields["start"] / 1e3,  # chrome wants microseconds
+                "dur": max(fields["dur"], 1.0) / 1e3,
+                "pid": 0,
+                "tid": fields["wid"],
+            }
+        )
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Write the captured task trace as Chrome trace JSON.
+
+    Returns the number of events written.
+    """
+    events = chrome_trace_events(tracer)
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    Path(path).write_text(json.dumps(payload))
+    return len(events)

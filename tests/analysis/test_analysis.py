@@ -1,0 +1,157 @@
+"""Unit tests for the §III-C closed-form analyses."""
+
+import pytest
+
+from repro.analysis import (
+    aggregated_send_cost_ns,
+    aggregation_speedup,
+    buffer_bytes_per_core,
+    buffer_bytes_per_process,
+    direct_send_cost_ns,
+    expected_fill_latency_ns,
+    fill_rate_per_buffer,
+    message_bounds_per_source,
+    message_bounds_total,
+    total_buffer_bytes,
+)
+from repro.errors import ConfigError
+from repro.machine import CostModel, MachineConfig
+
+MACHINE = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=4)
+N = MACHINE.total_processes  # 8
+T = MACHINE.workers_per_process  # 4
+
+
+class TestMemoryFormulas:
+    """The exact §III-C table."""
+
+    def test_ww_per_core(self):
+        assert buffer_bytes_per_core("WW", 1024, 8, N, T) == 1024 * 8 * N * T
+
+    def test_ww_per_process(self):
+        assert (
+            buffer_bytes_per_process("WW", 1024, 8, N, T)
+            == 1024 * 8 * N * T * T
+        )
+
+    def test_wps_wsp_per_core(self):
+        for s in ("WPs", "WsP"):
+            assert buffer_bytes_per_core(s, 1024, 8, N, T) == 1024 * 8 * N
+
+    def test_pp_per_process(self):
+        assert buffer_bytes_per_process("PP", 1024, 8, N, T) == 1024 * 8 * N
+
+    def test_ordering_ww_gt_wps_gt_pp(self):
+        ww = buffer_bytes_per_process("WW", 64, 8, N, T)
+        wps = buffer_bytes_per_process("WPs", 64, 8, N, T)
+        pp = buffer_bytes_per_process("PP", 64, 8, N, T)
+        assert ww == T * wps == T * T * pp
+
+    def test_total(self):
+        assert total_buffer_bytes("PP", MACHINE, 64, 8) == 64 * 8 * N * N
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            buffer_bytes_per_core("nope", 1, 1, 1, 1)
+
+
+class TestMessageBounds:
+    def test_per_source_ww(self):
+        lo, hi = message_bounds_per_source("WW", 10_000, 100, MACHINE)
+        assert lo == 100.0
+        assert hi == 100.0 + N * T
+
+    def test_per_source_wps_pp(self):
+        for s in ("WPs", "WsP", "PP"):
+            lo, hi = message_bounds_per_source(s, 10_000, 100, MACHINE)
+            assert lo == 100.0
+            assert hi == 100.0 + N
+
+    def test_direct_exact(self):
+        lo, hi = message_bounds_per_source("Direct", 500, 100, MACHINE)
+        assert lo == hi == 500.0
+
+    def test_streaming_limit_schemes_converge(self):
+        """z >> g: the flush term vanishes (paper's streaming argument)."""
+        z, g = 10**9, 1024
+        ratios = []
+        for s in ("WW", "WPs", "PP"):
+            lo, hi = message_bounds_per_source(s, z, g, MACHINE)
+            ratios.append(hi / lo)
+        assert all(r < 1.001 for r in ratios)
+
+    def test_total_bounds_ordering(self):
+        lo_ww, hi_ww = message_bounds_total("WW", 10**6, 64, MACHINE)
+        lo_pp, hi_pp = message_bounds_total("PP", 10**6, 64, MACHINE)
+        assert lo_ww == lo_pp  # same lower bound
+        assert hi_ww > hi_pp  # WW has far more flush slots
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            message_bounds_total("nope", 10, 1, MACHINE)
+
+
+class TestSendCost:
+    def test_direct_cost_formula(self):
+        costs = CostModel()
+        z, b = 1000, 8
+        per_msg = costs.message_bytes(1, b)
+        expected = z * (costs.alpha_inter_ns + costs.beta_ns_per_byte * per_msg)
+        assert direct_send_cost_ns(z, b, costs) == pytest.approx(expected)
+
+    def test_aggregated_divides_alpha_by_g(self):
+        costs = CostModel()
+        z, g, b = 10_000, 100, 8
+        agg = aggregated_send_cost_ns(z, g, b, costs)
+        expected = (z / g) * costs.alpha_inter_ns + costs.beta_ns_per_byte * b * z
+        assert agg == pytest.approx(expected)
+
+    def test_speedup_large_for_small_items(self):
+        assert aggregation_speedup(10_000, 1024, 8) > 50
+
+    def test_speedup_shrinks_for_large_items(self):
+        small = aggregation_speedup(1000, 64, 8)
+        large = aggregation_speedup(1000, 64, 1 << 20)
+        assert large < small
+        assert large >= 1.0 or large == pytest.approx(1.0, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            direct_send_cost_ns(-1, 8)
+        with pytest.raises(ConfigError):
+            aggregated_send_cost_ns(10, 0, 8)
+
+
+class TestFillLatency:
+    def test_fill_rate_ordering_is_the_papers(self):
+        """r_WW < r_WPs < r_PP -> latency WW > WPs > PP (Fig 12)."""
+        r = 1e-3  # items/ns per worker
+        r_ww = fill_rate_per_buffer("WW", r, MACHINE)
+        r_wps = fill_rate_per_buffer("WPs", r, MACHINE)
+        r_pp = fill_rate_per_buffer("PP", r, MACHINE)
+        assert r_ww < r_wps < r_pp
+        assert r_wps == pytest.approx(T * r_ww)
+        assert r_pp == pytest.approx(T * r_wps)
+
+    def test_latency_inverse_of_rate(self):
+        r = 1e-3
+        lat_ww = expected_fill_latency_ns("WW", 64, r, MACHINE)
+        lat_pp = expected_fill_latency_ns("PP", 64, r, MACHINE)
+        assert lat_ww == pytest.approx(T * T * lat_pp)
+
+    def test_direct_has_zero_fill_latency(self):
+        assert expected_fill_latency_ns("Direct", 64, 1.0, MACHINE) == 0.0
+
+    def test_zero_rate_infinite_latency(self):
+        assert expected_fill_latency_ns("WW", 64, 0.0, MACHINE) == float("inf")
+
+    def test_g_of_one_never_waits(self):
+        assert expected_fill_latency_ns("WW", 1, 1e-3, MACHINE) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            fill_rate_per_buffer("WW", -1.0, MACHINE)
+        with pytest.raises(ConfigError):
+            expected_fill_latency_ns("WW", 0, 1.0, MACHINE)
+        with pytest.raises(ConfigError):
+            fill_rate_per_buffer("nope", 1.0, MACHINE)

@@ -1,0 +1,61 @@
+"""Tests for the all-to-all exchange (short-stream regime)."""
+
+import pytest
+
+from repro.apps import run_alltoall
+from repro.machine import MachineConfig
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+MEDIUM = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=4)
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("scheme", ["WW", "WPs", "WsP", "PP", "WNs", "NN"])
+    def test_exchange_completes(self, scheme):
+        r = run_alltoall(MACHINE, scheme, items_per_pair=3, buffer_items=16)
+        assert r.total_time_ns > 0
+        assert r.messages_sent > 0
+
+    def test_flush_message_hierarchy(self):
+        """§III-C in one line: flush slots per source scale W*N*t (WW),
+        W*N (WPs), N*N (PP) — strictly decreasing totals."""
+        msgs = {
+            s: run_alltoall(MEDIUM, s, items_per_pair=2,
+                            buffer_items=1000).messages_sent
+            for s in ("WW", "WPs", "PP", "NN")
+        }
+        assert msgs["WW"] > msgs["WPs"] > msgs["PP"] > msgs["NN"]
+
+    def test_exact_ww_flush_count(self):
+        """Every buffer flushes exactly once: W * (remote workers)."""
+        r = run_alltoall(MEDIUM, "WW", items_per_pair=2, buffer_items=1000)
+        w = MEDIUM.total_workers
+        t = MEDIUM.workers_per_process
+        assert r.messages_flush == w * (w - t)
+
+    def test_exact_pp_flush_count(self):
+        """Coordinated PP flush: one message per remote process pair."""
+        r = run_alltoall(MEDIUM, "PP", items_per_pair=2, buffer_items=1000)
+        n = MEDIUM.total_processes
+        assert r.messages_flush == n * (n - 1)
+
+    def test_pp_buffers_can_fill_where_wps_cannot(self):
+        """PP aggregates across t source workers: with per-pair counts
+        sized so t*t*items == g, PP sends full messages while WPs only
+        flushes."""
+        g = 64  # = 4 workers * 4 dst workers * 4 items
+        pp = run_alltoall(MEDIUM, "PP", items_per_pair=4, buffer_items=g)
+        wps = run_alltoall(MEDIUM, "WPs", items_per_pair=4, buffer_items=g)
+        assert pp.messages_flush == 0
+        assert wps.messages_flush > 0
+
+    def test_time_ordering_short_stream(self):
+        """In the flush-dominated regime destination-process schemes win."""
+        ww = run_alltoall(MEDIUM, "WW", items_per_pair=2, buffer_items=256)
+        wps = run_alltoall(MEDIUM, "WPs", items_per_pair=2, buffer_items=256)
+        assert wps.total_time_ns < ww.total_time_ns
+
+    def test_deterministic(self):
+        a = run_alltoall(MACHINE, "WPs", items_per_pair=3, seed=5)
+        b = run_alltoall(MACHINE, "WPs", items_per_pair=3, seed=5)
+        assert a.total_time_ns == b.total_time_ns

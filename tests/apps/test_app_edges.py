@@ -1,0 +1,60 @@
+"""Application edge cases: unreachable vertices, non-SMP IG, payload
+scaling."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_indexgather, run_pingack, run_sssp
+from repro.apps.graphs import Graph
+from repro.machine import MachineConfig, nonsmp_machine
+
+SMALL = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+
+def line_graph_with_island(n=8):
+    """0 -> 1 -> ... -> n-2, plus isolated vertex n-1."""
+    src = np.arange(n - 2)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1 : n - 1] = np.arange(1, n - 1)
+    indptr[n - 1 :] = n - 2
+    indices = np.arange(1, n - 1, dtype=np.int64)
+    weights = np.ones(n - 2, dtype=np.float64)
+    return Graph(n, indptr, indices, weights)
+
+
+class TestSsspEdges:
+    def test_unreachable_vertex_stays_infinite(self):
+        graph = line_graph_with_island()
+        r = run_sssp(SMALL, "WPs", graph=graph, buffer_items=4)
+        assert r.distances[0] == 0.0
+        assert r.distances[6] == pytest.approx(6.0)  # end of the line
+        assert np.isinf(r.distances[7])  # the island
+
+    def test_line_graph_distances_exact(self):
+        graph = line_graph_with_island()
+        r = run_sssp(SMALL, "PP", graph=graph, buffer_items=4)
+        for v in range(7):
+            assert r.distances[v] == pytest.approx(float(v))
+
+    def test_nonzero_source(self):
+        graph = line_graph_with_island()
+        r = run_sssp(SMALL, "WPs", graph=graph, buffer_items=4, source=3)
+        assert r.distances[3] == 0.0
+        assert r.distances[6] == pytest.approx(3.0)
+        assert np.isinf(r.distances[0])  # behind the source on a line
+
+
+class TestIndexGatherNonSmp:
+    def test_ig_runs_without_commthreads(self):
+        machine = nonsmp_machine(2, ranks_per_node=4)
+        r = run_indexgather(machine, "WW", requests_per_pe=200,
+                            buffer_items=16)
+        assert r.total_time_ns > 0
+        assert r.round_trip_latency_ns > 0
+
+
+class TestPingAckPayload:
+    def test_bigger_payload_takes_longer(self):
+        small = run_pingack(SMALL, messages_per_pe=60, payload_bytes=64)
+        large = run_pingack(SMALL, messages_per_pe=60, payload_bytes=65536)
+        assert large.total_time_ns > small.total_time_ns

@@ -1,0 +1,223 @@
+"""Application-level tests: correctness and paper-shape assertions.
+
+Shapes asserted here are the load-bearing claims of the paper's
+evaluation, exercised at test-friendly scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    run_histogram,
+    run_indexgather,
+    run_phold,
+    run_pingack,
+    run_sssp,
+)
+from repro.apps.graphs import generate_graph
+from repro.errors import ConfigError
+from repro.machine import MachineConfig, nonsmp_machine
+
+SMALL = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+MEDIUM = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=4)
+
+
+class TestPingAck:
+    def test_requires_two_nodes(self):
+        with pytest.raises(ConfigError):
+            run_pingack(MachineConfig(nodes=3, processes_per_node=1,
+                                      workers_per_process=2))
+
+    def test_completes_and_times(self):
+        r = run_pingack(SMALL, messages_per_pe=50)
+        assert r.total_time_ns > 0
+        assert r.events > 0
+
+    def test_smp_one_process_slower_than_nonsmp(self):
+        """Fig 3's core claim at test scale."""
+        wpn = 8
+        smp1 = run_pingack(
+            MachineConfig(nodes=2, processes_per_node=1, workers_per_process=wpn),
+            messages_per_pe=100,
+        )
+        nonsmp = run_pingack(nonsmp_machine(2, ranks_per_node=wpn),
+                             messages_per_pe=100)
+        assert smp1.total_time_ns > 1.5 * nonsmp.total_time_ns
+
+    def test_more_processes_helps(self):
+        wpn = 8
+        times = []
+        for ppn in (1, 2, 4):
+            r = run_pingack(
+                MachineConfig(nodes=2, processes_per_node=ppn,
+                              workers_per_process=wpn // ppn),
+                messages_per_pe=100,
+            )
+            times.append(r.total_time_ns)
+        assert times[0] > times[1] > times[2] * 0.99
+
+    def test_labels(self):
+        r = run_pingack(SMALL, messages_per_pe=10)
+        assert "SMP" in r.label
+        r2 = run_pingack(nonsmp_machine(2, 4), messages_per_pe=10)
+        assert "non-SMP" in r2.label
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("scheme", ["WW", "WPs", "WsP", "PP"])
+    def test_all_updates_arrive(self, scheme):
+        r = run_histogram(SMALL, scheme, updates_per_pe=500, buffer_items=32)
+        assert r.updates_total == 500 * 8
+        assert r.total_time_ns > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_histogram(SMALL, "WPs", updates_per_pe=500, seed=9)
+        b = run_histogram(SMALL, "WPs", updates_per_pe=500, seed=9)
+        assert a.total_time_ns == b.total_time_ns
+        assert a.messages_sent == b.messages_sent
+
+    def test_seed_changes_details(self):
+        a = run_histogram(SMALL, "WPs", updates_per_pe=500, seed=1)
+        b = run_histogram(SMALL, "WPs", updates_per_pe=500, seed=2)
+        assert a.total_time_ns != b.total_time_ns
+
+    def test_ww_flush_messages_exceed_wps(self):
+        """Flush-heavy regime: WW pays one message per dest *worker*."""
+        ww = run_histogram(MEDIUM, "WW", updates_per_pe=200, buffer_items=64)
+        wps = run_histogram(MEDIUM, "WPs", updates_per_pe=200, buffer_items=64)
+        assert ww.messages_flush > wps.messages_flush
+
+    def test_larger_buffers_fewer_messages(self):
+        small_g = run_histogram(SMALL, "WPs", updates_per_pe=2000, buffer_items=16)
+        large_g = run_histogram(SMALL, "WPs", updates_per_pe=2000, buffer_items=128)
+        assert large_g.messages_sent < small_g.messages_sent
+
+    def test_updates_buffered_accounting(self):
+        r = run_histogram(SMALL, "WPs", updates_per_pe=500, buffer_items=32)
+        assert r.updates_buffered + r.items_bypassed_local == r.updates_total
+
+
+class TestIndexGather:
+    @pytest.mark.parametrize("scheme", ["WW", "WPs", "PP"])
+    def test_every_request_answered(self, scheme):
+        r = run_indexgather(SMALL, scheme, requests_per_pe=300, buffer_items=16)
+        assert r.total_time_ns > 0
+        assert r.request_latency_ns > 0
+        assert r.response_latency_ns > 0
+
+    def test_latency_ordering_pp_beats_ww(self):
+        """Fig 12's headline at test scale."""
+        ww = run_indexgather(MEDIUM, "WW", requests_per_pe=1000, buffer_items=32)
+        pp = run_indexgather(MEDIUM, "PP", requests_per_pe=1000, buffer_items=32)
+        assert pp.round_trip_latency_ns < ww.round_trip_latency_ns
+
+    def test_round_trip_is_sum_of_legs(self):
+        r = run_indexgather(SMALL, "WPs", requests_per_pe=200, buffer_items=16)
+        assert r.round_trip_latency_ns == pytest.approx(
+            r.request_latency_ns + r.response_latency_ns
+        )
+
+
+class TestSssp:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_graph(512, 6, seed=11)
+
+    def test_distances_correct_vs_dijkstra(self, graph):
+        """The speculative algorithm must converge to exact distances."""
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        from scipy.sparse.csgraph import dijkstra
+
+        r = run_sssp(SMALL, "WPs", graph=graph, buffer_items=16)
+        matrix = scipy_sparse.csr_matrix(
+            (graph.weights, graph.indices, graph.indptr),
+            shape=(graph.num_vertices, graph.num_vertices),
+        )
+        expected = dijkstra(matrix, indices=0)
+        assert np.allclose(r.distances, expected, equal_nan=True)
+
+    @pytest.mark.parametrize("scheme", ["WW", "WPs", "WsP", "PP"])
+    def test_schemes_agree_on_distances(self, scheme, graph):
+        base = run_sssp(SMALL, "WW", graph=graph, buffer_items=16)
+        other = run_sssp(SMALL, scheme, graph=graph, buffer_items=16)
+        assert np.allclose(base.distances, other.distances, equal_nan=True)
+
+    def test_wasted_updates_counted(self, graph):
+        r = run_sssp(SMALL, "WPs", graph=graph, buffer_items=16)
+        assert r.wasted_updates > 0
+        assert r.total_updates > graph.num_edges * 0.5
+        assert 0.0 < r.wasted_fraction < 1.0
+
+    def test_pp_wastes_no_more_than_ww(self, graph):
+        """Fig 15 at test scale: lower latency -> less waste."""
+        ww = run_sssp(MEDIUM, "WW", graph=graph, buffer_items=16)
+        pp = run_sssp(MEDIUM, "PP", graph=graph, buffer_items=16)
+        assert pp.wasted_updates <= ww.wasted_updates
+
+    def test_priority_threshold_runs(self, graph):
+        r = run_sssp(SMALL, "WPs", graph=graph, buffer_items=16,
+                     priority_threshold=5.0)
+        assert r.total_time_ns > 0
+
+
+class TestPhold:
+    def test_system_drains_and_counts(self):
+        r = run_phold(SMALL, "WPs", lps_per_worker=4, quota_per_worker=200,
+                      buffer_items=8)
+        assert r.events_executed > 0
+        assert 0 <= r.events_rejected <= r.events_executed
+        assert r.total_time_ns > 0
+
+    def test_deterministic(self):
+        a = run_phold(SMALL, "PP", quota_per_worker=150, seed=3)
+        b = run_phold(SMALL, "PP", quota_per_worker=150, seed=3)
+        assert a.events_rejected == b.events_rejected
+        assert a.total_time_ns == b.total_time_ns
+
+    def test_pp_rejects_fewer_than_ww(self):
+        """Fig 18's claim at test scale."""
+        m = MachineConfig(nodes=2, processes_per_node=1, workers_per_process=8)
+        ww = run_phold(m, "WW", lps_per_worker=8, quota_per_worker=600,
+                       buffer_items=32)
+        pp = run_phold(m, "PP", lps_per_worker=8, quota_per_worker=600,
+                       buffer_items=32)
+        assert ww.events_executed == pp.events_executed
+        assert pp.events_rejected < ww.events_rejected
+
+    def test_rejected_fraction(self):
+        r = run_phold(SMALL, "WPs", quota_per_worker=100)
+        assert r.rejected_fraction == pytest.approx(
+            r.events_rejected / r.events_executed
+        )
+
+
+class TestHistogramSkew:
+    def test_skewed_destinations_create_hotspot(self):
+        uniform = run_histogram(SMALL, "WPs", updates_per_pe=1500,
+                                buffer_items=32)
+        hot = run_histogram(SMALL, "WPs", updates_per_pe=1500,
+                            buffer_items=32, skew=1.5)
+        assert hot.total_time_ns > uniform.total_time_ns
+
+    def test_skew_preserves_conservation(self):
+        r = run_histogram(SMALL, "PP", updates_per_pe=1000,
+                          buffer_items=32, skew=2.0)
+        assert r.updates_total == 1000 * 8
+
+    def test_zero_skew_matches_default(self):
+        a = run_histogram(SMALL, "WPs", updates_per_pe=500, buffer_items=32)
+        b = run_histogram(SMALL, "WPs", updates_per_pe=500, buffer_items=32,
+                          skew=0.0)
+        assert a.total_time_ns == b.total_time_ns
+
+
+class TestPholdLookahead:
+    def test_larger_lookahead_fewer_rejects(self):
+        """Classic PDES: lookahead bounds how 'late' a successor can be
+        relative to its target LP's clock, so rejects fall as it grows."""
+        m = MachineConfig(nodes=2, processes_per_node=1, workers_per_process=8)
+        tight = run_phold(m, "WPs", lps_per_worker=8, quota_per_worker=600,
+                          buffer_items=32, lookahead=0.1, mean_delay=5.0)
+        loose = run_phold(m, "WPs", lps_per_worker=8, quota_per_worker=600,
+                          buffer_items=32, lookahead=50.0, mean_delay=5.0)
+        assert loose.events_rejected < tight.events_rejected

@@ -1,0 +1,80 @@
+"""Unit tests for the placeholder optimistic PDES engine."""
+
+import pytest
+
+from repro.apps.pdes.engine import LpState, OptimisticEngine
+
+
+@pytest.fixture
+def engine():
+    return OptimisticEngine(lps=[LpState(lp_id=i) for i in range(3)])
+
+
+class TestExecutionOrder:
+    def test_executes_smallest_timestamp_first(self, engine):
+        engine.enqueue(0, 30.0)
+        engine.enqueue(1, 10.0)
+        engine.enqueue(2, 20.0)
+        order = [engine.execute_next()[1] for _ in range(3)]
+        assert order == [10.0, 20.0, 30.0]
+
+    def test_ties_fifo(self, engine):
+        engine.enqueue(0, 5.0)
+        engine.enqueue(1, 5.0)
+        lp_a, _, _ = engine.execute_next()
+        lp_b, _, _ = engine.execute_next()
+        assert (lp_a.lp_id, lp_b.lp_id) == (0, 1)
+
+    def test_in_order_advances_clock(self, engine):
+        engine.enqueue(0, 10.0)
+        lp, ts, in_order = engine.execute_next()
+        assert in_order
+        assert lp.last_ts == 10.0
+        assert lp.executed == 1
+        assert lp.rejected == 0
+
+    def test_out_of_order_counts_reject(self, engine):
+        engine.enqueue(0, 10.0)
+        engine.execute_next()
+        engine.enqueue(0, 5.0)  # arrives late
+        lp, ts, in_order = engine.execute_next()
+        assert not in_order
+        assert lp.rejected == 1
+        # The placeholder engine does not roll back the clock.
+        assert lp.last_ts == 10.0
+
+    def test_per_lp_clocks_independent(self, engine):
+        engine.enqueue(0, 10.0)
+        engine.execute_next()
+        engine.enqueue(1, 5.0)  # different LP: in order for LP 1
+        _, _, in_order = engine.execute_next()
+        assert in_order
+
+
+class TestAggregates:
+    def test_totals(self, engine):
+        for ts in (3.0, 1.0, 2.0, 0.5):
+            engine.enqueue(0, ts)
+        while engine.has_events:
+            engine.execute_next()
+        assert engine.total_executed == 4
+        # Events executed in ts order from the pool: all in order for a
+        # single LP when they were all present before execution began.
+        assert engine.total_rejected == 0
+
+    def test_late_arrival_scenario(self, engine):
+        engine.enqueue(0, 10.0)
+        engine.execute_next()
+        engine.enqueue(0, 2.0)
+        engine.enqueue(0, 12.0)
+        rejects = 0
+        while engine.has_events:
+            _, _, in_order = engine.execute_next()
+            rejects += 0 if in_order else 1
+        assert rejects == 1
+        assert engine.total_rejected == 1
+
+    def test_has_events(self, engine):
+        assert not engine.has_events
+        engine.enqueue(0, 1.0)
+        assert engine.has_events

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import CostModel, MachineConfig
+from repro.runtime.system import RuntimeSystem
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """2 nodes x 2 processes x 2 workers (8 workers), SMP."""
+    return MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+
+@pytest.fixture
+def tiny_rt(tiny_machine) -> RuntimeSystem:
+    """Runtime on the tiny machine, seed 0."""
+    return RuntimeSystem(tiny_machine, seed=0)
+
+
+@pytest.fixture
+def make_rt():
+    """Factory: ``make_rt(nodes=2, ppn=2, wpp=2, smp=True, **cost_overrides)``."""
+
+    def _make(
+        nodes: int = 2,
+        ppn: int = 2,
+        wpp: int = 2,
+        smp: bool = True,
+        seed: int = 0,
+        **cost_overrides,
+    ) -> RuntimeSystem:
+        machine = MachineConfig(
+            nodes=nodes,
+            processes_per_node=ppn,
+            workers_per_process=wpp,
+            smp=smp,
+        )
+        costs = CostModel(**cost_overrides) if cost_overrides else None
+        return RuntimeSystem(machine, costs, seed=seed)
+
+    return _make

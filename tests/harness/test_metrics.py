@@ -1,0 +1,66 @@
+"""Tests for post-run utilization metrics."""
+
+import numpy as np
+import pytest
+
+from repro.harness.metrics import utilization
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+
+def run_traffic(machine, items=400, seed=0):
+    rt = RuntimeSystem(machine, seed=seed)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=16),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = machine.total_workers
+
+    def driver(ctx):
+        rng = rt.rng.stream(f"m/{ctx.worker.wid}")
+        counts = np.bincount(rng.integers(0, W, items), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver)
+    rt.run()
+    return rt
+
+
+class TestUtilization:
+    def test_requires_completed_run(self):
+        rt = RuntimeSystem(MachineConfig(1, 1, 2))
+        with pytest.raises(ValueError):
+            utilization(rt)
+
+    def test_fractions_in_unit_interval(self):
+        rt = run_traffic(MachineConfig(2, 2, 2))
+        rep = utilization(rt)
+        for frac in (rep.worker_mean, rep.worker_max, rep.commthread_mean,
+                     rep.commthread_max, rep.nic_tx_mean, rep.nic_rx_mean):
+            assert 0.0 <= frac <= 1.0
+        assert rep.worker_max >= rep.worker_mean
+        assert rep.commthread_max >= rep.commthread_mean
+
+    def test_nonsmp_has_no_commthread_utilization(self):
+        rt = run_traffic(MachineConfig(2, 4, 1, smp=False))
+        rep = utilization(rt)
+        assert rep.commthread_mean == 0.0
+        assert rep.commthread_max == 0.0
+
+    def test_commthread_load_grows_with_workers_per_process(self):
+        few = utilization(run_traffic(MachineConfig(2, 4, 2)))
+        many = utilization(run_traffic(MachineConfig(2, 1, 8)))
+        assert many.commthread_max > few.commthread_max
+
+    def test_bottleneck_names_component(self):
+        rep = utilization(run_traffic(MachineConfig(2, 1, 8)))
+        assert rep.bottleneck() in {"workers", "commthreads", "nic_tx", "nic_rx"}
+
+    def test_table_renders(self):
+        rep = utilization(run_traffic(MachineConfig(2, 2, 2)))
+        out = rep.to_table()
+        assert "comm threads" in out
+        assert "%" in out

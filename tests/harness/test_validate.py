@@ -1,0 +1,70 @@
+"""Tests for the programmatic reproduction validator."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.experiment import FigureData, Series
+from repro.harness.validate import (
+    CHECKERS,
+    CheckResult,
+    render_results,
+    validate_figure,
+    validate_reproduction,
+)
+from repro.harness.figures import FIGURES
+
+
+class TestCheckerRegistry:
+    def test_every_experiment_has_a_checker(self):
+        assert set(CHECKERS) == set(FIGURES)
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(HarnessError):
+            validate_figure("fig99")
+
+
+class TestCheckers:
+    def test_fast_checks_pass_on_quick_profile(self):
+        results = validate_reproduction(
+            profile="quick", figures=["fig1", "fig3", "tabA", "tabB"]
+        )
+        assert all(r.passed for r in results)
+
+    def test_checker_detects_violations(self):
+        """A checker must actually fail on counterfeit data."""
+        bogus = FigureData(
+            fig_id="fig12", title="t", xlabel="nodes", ylabel="us",
+            x=[1],
+            series=[
+                Series("WW", [1.0]),   # WW fastest: wrong ordering
+                Series("WPs", [2.0]),
+                Series("WsP", [2.0]),
+                Series("PP", [3.0]),
+            ],
+        )
+        passed, _ = CHECKERS["fig12"](bogus)
+        assert not passed
+
+    def test_tabb_checker_detects_bound_violation(self):
+        bogus = FigureData(
+            fig_id="tabB", title="t", xlabel="scheme", ylabel="msgs",
+            x=["WW"],
+            series=[
+                Series("lower_bound", [100.0]),
+                Series("measured", [99.0]),  # below lower bound
+                Series("upper_bound", [200.0]),
+            ],
+        )
+        passed, _ = CHECKERS["tabB"](bogus)
+        assert not passed
+
+
+class TestRendering:
+    def test_render_results_table(self):
+        results = [
+            CheckResult("figX", True, "ok"),
+            CheckResult("figY", False, "broken"),
+        ]
+        out = render_results(results)
+        assert "PASS" in out and "FAIL" in out
+        assert "figY" in out

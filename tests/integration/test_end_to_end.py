@@ -1,0 +1,124 @@
+"""Cross-module integration tests: full stack, paper-shape claims."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import expected_fill_latency_ns
+from repro.apps import run_histogram, run_indexgather
+from repro.machine import CostModel, MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import SCHEME_NAMES, TramConfig, make_scheme
+
+MEDIUM = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=4)
+
+
+class TestSchemeOrderings:
+    """The paper's headline relative results, asserted end to end."""
+
+    def test_histogram_scaling_ordering_at_moderate_scale(self):
+        results = {
+            s: run_histogram(MEDIUM, s, updates_per_pe=4000, buffer_items=64,
+                             batch=1000)
+            for s in SCHEME_NAMES
+        }
+        # WPs is the best scheme at scale; WW is never better than WPs.
+        assert results["WPs"].total_time_ns <= results["WW"].total_time_ns
+        # PP pays atomics relative to WPs.
+        assert results["PP"].total_time_ns >= results["WPs"].total_time_ns
+
+    def test_ig_latency_full_ordering(self):
+        results = {
+            s: run_indexgather(MEDIUM, s, requests_per_pe=3000,
+                               buffer_items=64, batch=500)
+            for s in SCHEME_NAMES
+        }
+        lat = {s: r.round_trip_latency_ns for s, r in results.items()}
+        assert lat["PP"] < lat["WPs"] < lat["WW"]
+        assert lat["PP"] < lat["WsP"] < lat["WW"]
+
+    def test_aggregation_beats_direct_per_item(self):
+        """The library's raison d'etre: Direct pays alpha per item."""
+        machine = MachineConfig(nodes=2, processes_per_node=2,
+                                workers_per_process=2)
+
+        def run(scheme):
+            rt = RuntimeSystem(machine, seed=0)
+            tram = make_scheme(
+                scheme, rt, TramConfig(buffer_items=32, idle_flush=True),
+                deliver_item=lambda ctx, it: None,
+            )
+            W = machine.total_workers
+
+            def driver(ctx):
+                rng = rt.rng.stream(f"x/{ctx.worker.wid}")
+                for _ in range(200):
+                    tram.insert(ctx, dst=int(rng.integers(0, W)))
+
+            for w in range(W):
+                rt.post(w, driver)
+            stats = rt.run(max_events=2_000_000)
+            return stats.end_time
+
+        assert run("Direct") > 1.5 * run("WPs")
+
+
+class TestAnalyticSimAgreement:
+    def test_fill_latency_model_matches_sim_ordering(self):
+        """The §III-C fill-rate model predicts the simulated latency
+        ordering (it ignores queueing, so only the ordering is checked)."""
+        machine = MEDIUM
+        rate = 1.0 / 200.0  # one item per 200ns per worker
+        model = {
+            s: expected_fill_latency_ns(s, 64, rate, machine)
+            for s in ("WW", "WPs", "PP")
+        }
+        sim = {
+            s: run_indexgather(machine, s, requests_per_pe=3000,
+                               buffer_items=64).round_trip_latency_ns
+            for s in ("WW", "WPs", "PP")
+        }
+        model_order = sorted(model, key=model.get)
+        sim_order = sorted(sim, key=sim.get)
+        assert model_order == sim_order == ["PP", "WPs", "WW"]
+
+
+class TestCostModelKnobs:
+    def test_slower_commthread_hurts_smp_more(self):
+        slow = CostModel(comm_msg_ns=2000.0)
+        fast = CostModel(comm_msg_ns=100.0)
+        t_slow = run_histogram(MEDIUM, "WPs", updates_per_pe=2000,
+                               buffer_items=64, costs=slow).total_time_ns
+        t_fast = run_histogram(MEDIUM, "WPs", updates_per_pe=2000,
+                               buffer_items=64, costs=fast).total_time_ns
+        assert t_slow > 1.2 * t_fast
+
+    def test_zero_contention_makes_pp_match_wps_insert_costs(self):
+        costs = CostModel(contention_coeff=0.0, atomic_ns=0.0)
+        pp = run_histogram(MEDIUM, "PP", updates_per_pe=2000,
+                           buffer_items=64, costs=costs)
+        wps = run_histogram(MEDIUM, "WPs", updates_per_pe=2000,
+                            buffer_items=64, costs=costs)
+        # Without atomics PP is at least as fast as WPs (fewer messages).
+        assert pp.total_time_ns <= 1.1 * wps.total_time_ns
+
+    def test_higher_alpha_increases_runtime(self):
+        cheap = CostModel(alpha_inter_ns=200.0)
+        pricey = CostModel(alpha_inter_ns=20_000.0)
+        t_cheap = run_histogram(MEDIUM, "WPs", updates_per_pe=1000,
+                                buffer_items=16, costs=cheap).total_time_ns
+        t_pricey = run_histogram(MEDIUM, "WPs", updates_per_pe=1000,
+                                 buffer_items=16, costs=pricey).total_time_ns
+        assert t_pricey > t_cheap
+
+
+class TestDeterminismAcrossStack:
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_full_run_bitwise_reproducible(self, scheme):
+        a = run_histogram(MEDIUM, scheme, updates_per_pe=1000,
+                          buffer_items=32, seed=7)
+        b = run_histogram(MEDIUM, scheme, updates_per_pe=1000,
+                          buffer_items=32, seed=7)
+        assert a.total_time_ns == b.total_time_ns
+        assert a.messages_sent == b.messages_sent
+        assert a.bytes_sent == b.bytes_sent
+        assert a.events == b.events

@@ -1,0 +1,54 @@
+"""Unit tests for the fabric latency oracle and message envelope."""
+
+import pytest
+
+from repro.machine.costs import CostModel
+from repro.machine.topology import MachineConfig
+from repro.network.fabric import Fabric
+from repro.network.message import NetMessage, Route
+
+
+@pytest.fixture
+def fabric():
+    machine = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+    return Fabric(machine, CostModel())
+
+
+class TestFabric:
+    def test_same_node_uses_intra_alpha(self, fabric):
+        assert (
+            fabric.latency_between_processes(0, 1)
+            == fabric.costs.alpha_intra_ns
+        )
+
+    def test_cross_node_uses_inter_alpha(self, fabric):
+        assert (
+            fabric.latency_between_processes(0, 2)
+            == fabric.costs.alpha_inter_ns
+        )
+
+    def test_node_level(self, fabric):
+        assert fabric.latency_between_nodes(0, 0) == fabric.costs.alpha_intra_ns
+        assert fabric.latency_between_nodes(0, 1) == fabric.costs.alpha_inter_ns
+
+
+class TestNetMessage:
+    def test_worker_addressing(self):
+        m = NetMessage(kind="k", src_worker=0, dst_process=1, size_bytes=10)
+        assert not m.addressed_to_worker()
+        m2 = NetMessage(
+            kind="k", src_worker=0, dst_process=1, size_bytes=10, dst_worker=3
+        )
+        assert m2.addressed_to_worker()
+
+    def test_message_ids_unique(self):
+        a = NetMessage(kind="k", src_worker=0, dst_process=0, size_bytes=1)
+        b = NetMessage(kind="k", src_worker=0, dst_process=0, size_bytes=1)
+        assert a.msg_id != b.msg_id
+
+    def test_route_enum_members(self):
+        assert {r.value for r in Route} == {
+            "intra_process",
+            "intra_node",
+            "inter_node",
+        }

@@ -1,0 +1,68 @@
+"""Multiple scheme instances sharing one runtime (the IG pattern)."""
+
+import numpy as np
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+
+class TestInstanceIsolation:
+    def test_two_instances_do_not_cross_deliver(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        got_a, got_b = [], []
+        tram_a = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=2),
+            deliver_item=lambda ctx, it: got_a.append(it.payload),
+        )
+        tram_b = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=2),
+            deliver_item=lambda ctx, it: got_b.append(it.payload),
+        )
+
+        def driver(ctx):
+            tram_a.insert(ctx, dst=7, payload="a1")
+            tram_a.insert(ctx, dst=7, payload="a2")
+            tram_b.insert(ctx, dst=6, payload="b1")
+            tram_b.insert(ctx, dst=6, payload="b2")
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert sorted(got_a) == ["a1", "a2"]
+        assert sorted(got_b) == ["b1", "b2"]
+        assert tram_a.stats.items_delivered == 2
+        assert tram_b.stats.items_delivered == 2
+
+    def test_different_schemes_coexist(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        got = {"pp": 0, "ww": 0}
+        pp = make_scheme(
+            "PP", rt, TramConfig(buffer_items=4),
+            deliver_item=lambda ctx, it: got.__setitem__("pp", got["pp"] + 1),
+        )
+        ww = make_scheme(
+            "WW", rt, TramConfig(buffer_items=4),
+            deliver_item=lambda ctx, it: got.__setitem__("ww", got["ww"] + 1),
+        )
+
+        def driver(ctx):
+            for _ in range(4):
+                pp.insert(ctx, dst=7)
+                ww.insert(ctx, dst=7)
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert got == {"pp": 4, "ww": 4}
+
+    def test_stats_are_per_instance(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        a = make_scheme("WPs", rt, TramConfig(buffer_items=1),
+                        deliver_item=lambda ctx, it: None)
+        b = make_scheme("WPs", rt, TramConfig(buffer_items=1),
+                        deliver_item=lambda ctx, it: None)
+        rt.post(0, lambda ctx: a.insert(ctx, dst=7))
+        rt.run(max_events=10_000)
+        assert a.stats.messages_sent == 1
+        assert b.stats.messages_sent == 0

@@ -1,0 +1,51 @@
+"""Tests for the ping-pong measurement (paper Fig 1 behaviour)."""
+
+import pytest
+
+from repro.machine.costs import CostModel
+from repro.network.pingpong import measure_pingpong
+
+
+class TestPingPongShape:
+    def test_small_messages_alpha_dominated(self):
+        results = measure_pingpong([8, 64, 512])
+        times = [r.one_way_ns for r in results]
+        # Flat within 15% across small sizes: alpha dominates.
+        assert max(times) / min(times) < 1.15
+        # Microsecond order, as the paper measures.
+        assert 500 < times[0] < 20_000
+
+    def test_large_messages_bandwidth_bound(self):
+        small, large = measure_pingpong([8, 1 << 20])
+        assert large.one_way_ns > 10 * small.one_way_ns
+
+    def test_effective_beta_near_tenth_ns_per_byte(self):
+        a, b = measure_pingpong([1 << 16, 1 << 20])
+        delta_bytes = (1 << 20) - (1 << 16)
+        beta_eff = (b.one_way_ns - a.one_way_ns) / delta_bytes
+        assert 0.05 < beta_eff < 0.2  # ~12 GB/s end to end
+
+    def test_rtt_is_twice_oneway(self):
+        (r,) = measure_pingpong([128])
+        assert r.rtt_ns == pytest.approx(2 * r.one_way_ns)
+
+    def test_monotone_in_size(self):
+        results = measure_pingpong([64, 4096, 65536, 1 << 20])
+        times = [r.one_way_ns for r in results]
+        assert times == sorted(times)
+
+
+class TestPingPongModes:
+    def test_nonsmp_mode_runs(self):
+        (r,) = measure_pingpong([256], smp=False)
+        assert r.one_way_ns > 0
+
+    def test_custom_costs(self):
+        slow = CostModel(alpha_inter_ns=50_000.0)
+        (r,) = measure_pingpong([8], costs=slow)
+        assert r.one_way_ns > 50_000.0
+
+    def test_results_ordered_like_input(self):
+        sizes = [1024, 8, 65536]
+        results = measure_pingpong(sizes)
+        assert [r.size_bytes for r in results] == sizes

@@ -1,0 +1,79 @@
+"""Property-based tests for buffers and the proportional split."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tram.buffer import CountBuffer, ItemBuffer, proportional_take
+from repro.tram.item import Item
+
+count_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 32),
+    elements=st.integers(0, 1000),
+).filter(lambda a: a.sum() > 0)
+
+
+class TestProportionalTakeProperties:
+    @given(count_arrays, st.data())
+    def test_take_invariants(self, arr, data):
+        total = int(arr.sum())
+        k = data.draw(st.integers(1, total))
+        take = proportional_take(arr.copy(), k, total)
+        assert int(take.sum()) == k
+        assert (take >= 0).all()
+        assert (take <= arr).all()
+
+    @given(count_arrays)
+    def test_repeated_takes_drain_exactly(self, arr):
+        """Carving g-chunks until empty conserves every slot's count."""
+        total = int(arr.sum())
+        remaining = arr.copy()
+        g = max(1, total // 7)
+        taken = np.zeros_like(arr)
+        left = total
+        while left > 0:
+            k = min(g, left)
+            part = proportional_take(remaining, k, left)
+            remaining -= part
+            taken += part
+            left -= k
+        assert (taken == arr).all()
+        assert (remaining == 0).all()
+
+
+class TestCountBufferProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 50), st.floats(0, 1e6, allow_nan=False)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=50)
+    def test_chunked_drain_conserves_count_and_tsum(self, adds, g):
+        buf = CountBuffer(10**9)
+        total = 0
+        t_sum = 0.0
+        for n, t in adds:
+            buf.add_counts(n, now=t)
+            total += n
+            t_sum += n * t
+        drained = 0
+        drained_tsum = 0.0
+        while not buf.empty:
+            batch = buf.take(min(g, buf.count))
+            drained += batch.count
+            drained_tsum += batch.t_sum
+        assert drained == total
+        np.testing.assert_allclose(drained_tsum, t_sum, rtol=1e-9)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=300))
+    def test_item_buffer_fifo(self, dsts):
+        buf = ItemBuffer(10**9)
+        for i, d in enumerate(dsts):
+            buf.add(Item(d, 0, float(i)))
+        out = buf.drain()
+        assert [it.dst for it in out] == dsts

@@ -1,0 +1,129 @@
+"""Property-based end-to-end invariants of the aggregation schemes.
+
+The strongest correctness statement in the library: for ANY machine
+shape, scheme, buffer depth and traffic pattern, every inserted item is
+delivered exactly once, to the right worker, and message counts respect
+the §III-C analytic bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import message_bounds_total
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+schemes = st.sampled_from(["WW", "WPs", "WsP", "PP"])
+machines = st.builds(
+    MachineConfig,
+    nodes=st.integers(1, 3),
+    processes_per_node=st.integers(1, 3),
+    workers_per_process=st.integers(1, 3),
+)
+
+
+@st.composite
+def traffic(draw):
+    machine = draw(machines)
+    w = machine.total_workers
+    sends = draw(
+        st.lists(
+            st.tuples(st.integers(0, w - 1), st.integers(0, w - 1)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return machine, sends
+
+
+class TestDeliveryProperties:
+    @given(schemes, traffic(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_once_to_right_worker(self, scheme, tm, g):
+        machine, sends = tm
+        rt = RuntimeSystem(machine, seed=0)
+        received = []
+        tram = make_scheme(
+            scheme,
+            rt,
+            TramConfig(buffer_items=g, item_bytes=8, idle_flush=True),
+            deliver_item=lambda ctx, it: received.append(
+                (ctx.worker.wid, it.payload)
+            ),
+        )
+
+        def driver(ctx, my_sends):
+            for i, dst in my_sends:
+                tram.insert(ctx, dst=dst, payload=(ctx.worker.wid, i, dst))
+
+        by_src = {}
+        for i, (src, dst) in enumerate(sends):
+            by_src.setdefault(src, []).append((i, dst))
+        for src, my in by_src.items():
+            rt.post(src, driver, my)
+        rt.run(max_events=2_000_000)
+
+        assert len(received) == len(sends)
+        for worker, (src, i, dst) in received:
+            assert worker == dst
+        assert tram.stats.items_delivered == len(sends)
+        assert tram.pending_items() == 0
+
+    @given(schemes, machines, st.integers(1, 12), st.integers(10, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_message_counts_within_analytic_bounds(
+        self, scheme, machine, g, z_per_worker
+    ):
+        rt = RuntimeSystem(machine, seed=1)
+        w = machine.total_workers
+        tram = make_scheme(
+            scheme,
+            rt,
+            TramConfig(buffer_items=g, item_bytes=8),
+            deliver_bulk=lambda ctx, wid, n, si, sc: None,
+        )
+
+        def driver(ctx):
+            rng = rt.rng.stream(f"p/{ctx.worker.wid}")
+            counts = np.bincount(
+                rng.integers(0, w, z_per_worker), minlength=w
+            )
+            tram.insert_bulk(ctx, counts)
+            tram.flush_when_done(ctx)
+
+        for wid in range(w):
+            rt.post(wid, driver)
+        rt.run(max_events=2_000_000)
+
+        buffered = tram.stats.items_inserted - tram.stats.items_bypassed_local
+        if buffered == 0:
+            assert tram.stats.messages_sent == 0
+            return
+        lower, upper = message_bounds_total(scheme, buffered, g, machine)
+        assert lower <= tram.stats.messages_sent <= upper
+
+    @given(schemes, st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_nonnegative_and_bounded_by_makespan(self, scheme, g):
+        machine = MachineConfig(nodes=2, processes_per_node=2,
+                                workers_per_process=2)
+        rt = RuntimeSystem(machine, seed=2)
+        tram = make_scheme(
+            scheme,
+            rt,
+            TramConfig(buffer_items=g, item_bytes=8, idle_flush=True),
+            deliver_item=lambda ctx, it: None,
+        )
+
+        def driver(ctx):
+            for dst in range(machine.total_workers):
+                tram.insert(ctx, dst=dst)
+
+        rt.post(0, driver)
+        stats = rt.run(max_events=1_000_000)
+        lat = tram.stats.latency
+        if lat.count:
+            assert lat.min >= 0.0
+            assert lat.max <= stats.end_time

@@ -1,0 +1,72 @@
+"""Property: flush policies bound item latency.
+
+With a flush timeout of tau and buffers that never fill (huge g), no
+item may wait in a buffer longer than tau — so its end-to-end latency
+is bounded by tau plus a transit allowance. This is the guarantee a
+latency-sensitive application buys with the timeout knob.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+#: Generous transit allowance: two comm-thread services + NIC + wire +
+#: handler work on an otherwise idle machine.
+TRANSIT_NS = 50_000.0
+
+
+class TestTimeoutBoundsLatency:
+    @given(
+        st.sampled_from(["WW", "WPs", "WsP", "PP"]),
+        st.floats(1_000.0, 1_000_000.0),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7),
+                           st.floats(0, 500_000.0)),
+                 min_size=1, max_size=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_latency_bounded_by_timeout_plus_transit(self, scheme, tau, sends):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        tram = make_scheme(
+            scheme, rt,
+            TramConfig(buffer_items=10**6, item_bytes=8,
+                       flush_timeout_ns=tau),
+            deliver_item=lambda ctx, it: None,
+        )
+
+        def one(ctx, dst):
+            tram.insert(ctx, dst=dst)
+
+        for src, dst, delay in sends:
+            rt.post(src, one, dst, delay=delay)
+        rt.run(max_events=500_000)
+        assert tram.pending_items() == 0
+        lat = tram.stats.latency
+        assert lat.count == len(sends)
+        assert lat.max <= tau + TRANSIT_NS
+
+    @given(st.sampled_from(["WW", "WPs", "PP"]), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_idle_flush_always_drains(self, scheme, fan):
+        """Idle flushing alone must reach quiescence with zero pending
+        items, whatever the traffic shape."""
+        rt = RuntimeSystem(MACHINE, seed=1)
+        tram = make_scheme(
+            scheme, rt,
+            TramConfig(buffer_items=64, item_bytes=8, idle_flush=True),
+            deliver_item=lambda ctx, it: None,
+        )
+
+        def driver(ctx):
+            for dst in range(fan):
+                tram.insert(ctx, dst=dst)
+
+        for w in range(MACHINE.total_workers):
+            rt.post(w, driver, delay=float(w) * 100.0)
+        rt.run(max_events=500_000)
+        assert tram.pending_items() == 0
+        assert tram.stats.items_delivered == fan * MACHINE.total_workers

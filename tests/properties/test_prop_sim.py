@@ -1,0 +1,81 @@
+"""Property-based tests for the DES substrate."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.event import Event
+from repro.sim.queue import EventQueue
+
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                  allow_infinity=False)
+
+
+class TestQueueProperties:
+    @given(st.lists(times, min_size=1, max_size=200))
+    def test_pop_order_matches_sorted(self, ts):
+        q = EventQueue()
+        for i, t in enumerate(ts):
+            q.push(Event(t, i, lambda: None, ()))
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(ts)
+
+    @given(
+        st.lists(times, min_size=1, max_size=100),
+        st.data(),
+    )
+    def test_cancellation_preserves_remaining_order(self, ts, data):
+        q = EventQueue()
+        events = [Event(t, i, lambda: None, ()) for i, t in enumerate(ts)]
+        for e in events:
+            q.push(e)
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(events) - 1), max_size=len(events))
+        )
+        for idx in to_cancel:
+            events[idx].cancel()
+            q.note_cancelled()
+        survivors = sorted(
+            (e.time, e.seq) for i, e in enumerate(events) if i not in to_cancel
+        )
+        popped = []
+        while q:
+            e = q.pop()
+            popped.append((e.time, e.seq))
+        assert popped == survivors
+
+    @given(st.lists(st.tuples(times, times), min_size=1, max_size=50))
+    def test_engine_clock_never_goes_backwards(self, pairs):
+        eng = Engine()
+        observed = []
+
+        def record():
+            observed.append(eng.now)
+
+        for t0, dt in pairs:
+            eng.at(t0, record)
+        eng.run()
+        assert observed == sorted(observed)
+
+
+class TestEngineChaining:
+    @given(st.integers(1, 50), st.floats(0.1, 100.0))
+    @settings(max_examples=25)
+    def test_chained_events_count(self, n, step):
+        eng = Engine()
+        count = [0]
+
+        def tick(remaining):
+            count[0] += 1
+            if remaining > 1:
+                eng.after(step, tick, remaining - 1)
+
+        eng.after(0.0, tick, n)
+        stats = eng.run()
+        assert count[0] == n
+        assert stats.events_fired == n
+        assert eng.now <= (n - 1) * step + 1e-6

@@ -1,0 +1,84 @@
+"""Transport-level conservation properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineConfig
+from repro.network.message import Route
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+machines = st.builds(
+    MachineConfig,
+    nodes=st.integers(1, 3),
+    processes_per_node=st.integers(1, 3),
+    workers_per_process=st.integers(1, 3),
+    nics_per_node=st.integers(1, 3),
+)
+
+
+class TestTransportConservation:
+    @given(machines, st.integers(1, 16), st.integers(20, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_nic_traffic_matches_inter_node_messages(self, machine, g, z):
+        """Every inter-node transport message crosses exactly one tx NIC
+        and one rx NIC; intra-node traffic never touches a NIC."""
+        rt = RuntimeSystem(machine, seed=0)
+        tram = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=g),
+            deliver_bulk=lambda ctx, w, n, si, sc: None,
+        )
+        w = machine.total_workers
+
+        def driver(ctx):
+            rng = rt.rng.stream(f"tc/{ctx.worker.wid}")
+            counts = np.bincount(rng.integers(0, w, z), minlength=w)
+            tram.insert_bulk(ctx, counts)
+            tram.flush_when_done(ctx)
+
+        for wid in range(w):
+            rt.post(wid, driver)
+        rt.run(max_events=2_000_000)
+
+        inter = rt.transport.stats.messages[Route.INTER_NODE]
+        tx_total = sum(
+            nic.stats.tx_messages for node in rt.nodes for nic in node.nics
+        )
+        rx_total = sum(
+            nic.stats.rx_messages for node in rt.nodes for nic in node.nics
+        )
+        assert tx_total == inter
+        assert rx_total == inter
+        # Bytes conserved across the wire too.
+        tx_bytes = sum(
+            nic.stats.tx_bytes for node in rt.nodes for nic in node.nics
+        )
+        assert tx_bytes == rt.transport.stats.bytes[Route.INTER_NODE]
+
+    @given(machines)
+    @settings(max_examples=20, deadline=None)
+    def test_intra_process_traffic_skips_everything(self, machine):
+        """Messages within a process touch neither comm thread nor NIC."""
+        rt = RuntimeSystem(machine, seed=0)
+        tram = make_scheme(
+            "WW", rt, TramConfig(buffer_items=1, bypass_local=False),
+            deliver_item=lambda ctx, it: None,
+        )
+
+        def driver(ctx):
+            # Send to a sibling within the same process (self if alone).
+            own = machine.workers_of_process(
+                machine.process_of_worker(ctx.worker.wid)
+            )
+            tram.insert(ctx, dst=own.start)
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert rt.transport.stats.messages[Route.INTRA_PROCESS] == 1
+        for node in rt.nodes:
+            for nic in node.nics:
+                assert nic.stats.tx_messages == 0
+        if machine.smp:
+            for proc in rt.processes:
+                assert proc.commthread.stats.out_messages == 0

@@ -1,0 +1,108 @@
+"""Unit tests for the comm-thread server — the §III-A bottleneck."""
+
+import pytest
+
+from repro.network.message import NetMessage
+
+
+def probe_msg(rt, src, dst_worker, size=100, kind="ct.probe"):
+    return NetMessage(
+        kind=kind,
+        src_worker=src,
+        dst_process=rt.machine.process_of_worker(dst_worker),
+        dst_worker=dst_worker,
+        size_bytes=size,
+    )
+
+
+class TestSerialization:
+    def test_outbound_messages_serialize(self, make_rt):
+        """Two workers sending simultaneously queue behind one comm thread."""
+        rt = make_rt()
+        arrivals = []
+        rt.register_handler("ct.probe", lambda ctx, msg: arrivals.append(ctx.now))
+
+        def task(ctx):
+            ctx.emit(rt.transport.send, probe_msg(rt, ctx.worker.wid, 4, size=1000))
+
+        rt.post(0, task)
+        rt.post(1, task)
+        rt.run()
+        svc = rt.costs.comm_service_ns(1000)
+        assert len(arrivals) == 2
+        # Second message left the comm thread one service later.
+        assert arrivals[1] - arrivals[0] == pytest.approx(svc)
+
+    def test_busy_and_wait_stats(self, make_rt):
+        rt = make_rt()
+        rt.register_handler("ct.probe", lambda ctx, msg: None)
+
+        def task(ctx):
+            for _ in range(3):
+                ctx.emit(rt.transport.send, probe_msg(rt, 0, 4, size=500))
+
+        rt.post(0, task)
+        rt.run()
+        ct = rt.process(0).commthread
+        assert ct.stats.out_messages == 3
+        assert ct.stats.busy_ns == pytest.approx(
+            3 * rt.costs.comm_service_ns(500)
+        )
+        assert ct.stats.queue_wait_ns > 0
+
+    def test_inbound_counted_at_destination(self, make_rt):
+        rt = make_rt()
+        rt.register_handler("ct.probe", lambda ctx, msg: None)
+
+        def task(ctx):
+            ctx.emit(rt.transport.send, probe_msg(rt, 0, 4))
+
+        rt.post(0, task)
+        rt.run()
+        dst_ct = rt.process(rt.machine.process_of_worker(4)).commthread
+        assert dst_ct.stats.in_messages == 1
+
+    def test_backlog_drains(self, make_rt):
+        rt = make_rt()
+        rt.register_handler("ct.probe", lambda ctx, msg: None)
+
+        def task(ctx):
+            for _ in range(5):
+                ctx.emit(rt.transport.send, probe_msg(rt, 0, 4, size=2000))
+
+        rt.post(0, task)
+        rt.run()
+        assert rt.process(0).commthread.backlog_ns == 0.0
+
+
+class TestBottleneckShape:
+    def test_more_processes_less_queueing(self):
+        """The paper's central SMP observation: fewer workers per comm
+        thread means less serialization delay for the same traffic."""
+        from repro.machine import MachineConfig
+        from repro.runtime.system import RuntimeSystem
+
+        def total_wait(ppn, wpp):
+            machine = MachineConfig(
+                nodes=2, processes_per_node=ppn, workers_per_process=wpp
+            )
+            rt = RuntimeSystem(machine, seed=0)
+            rt.register_handler("ct.probe", lambda ctx, msg: None)
+            wpn = machine.workers_per_node
+
+            def task(ctx):
+                wid = ctx.worker.wid
+                for _ in range(20):
+                    ctx.emit(
+                        rt.transport.send, probe_msg(rt, wid, wid + wpn, size=500)
+                    )
+
+            for w in range(wpn):
+                rt.post(w, task)
+            rt.run()
+            return sum(
+                rt.process(p).commthread.stats.queue_wait_ns
+                for p in range(machine.processes_per_node)
+            )
+
+        assert total_wait(1, 8) > total_wait(4, 2)

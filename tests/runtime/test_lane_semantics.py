@@ -1,0 +1,86 @@
+"""Documented semantics of the expedited/normal task lanes.
+
+These tests pin down behaviours a user must know about — including the
+sharp edge that a saturating expedited stream starves the normal lane
+(exactly like Charm++ expedited messages), which is why TramLib's
+expedited flag should carry *small control traffic*, not bulk work.
+"""
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+
+
+def make_rt():
+    return RuntimeSystem(MachineConfig(1, 1, 2), seed=0)
+
+
+class TestLaneOrdering:
+    def test_expedited_fifo_within_lane(self):
+        rt = make_rt()
+        order = []
+
+        def kickoff(ctx):
+            ctx.charge(100.0)
+            w = rt.worker(0)
+            for i in range(3):
+                w.post_task(lambda ctx, i=i: order.append(i), expedited=True)
+
+        rt.post(0, kickoff)
+        rt.run()
+        assert order == [0, 1, 2]
+
+    def test_expedited_can_starve_normal_lane(self):
+        """A self-sustaining expedited chain runs to completion before
+        any queued normal task — the documented sharp edge."""
+        rt = make_rt()
+        order = []
+
+        def expedited_chain(ctx, n):
+            order.append(f"e{n}")
+            ctx.charge(10.0)
+            if n < 4:
+                ctx.emit(
+                    lambda: rt.worker(0).post_task(
+                        expedited_chain, n + 1, expedited=True
+                    )
+                )
+
+        def kickoff(ctx):
+            ctx.charge(10.0)
+            w = rt.worker(0)
+            w.post_task(lambda ctx: order.append("normal"))
+            w.post_task(expedited_chain, 0, expedited=True)
+
+        rt.post(0, kickoff)
+        rt.run()
+        assert order == ["e0", "e1", "e2", "e3", "e4", "normal"]
+
+    def test_normal_lane_runs_when_expedited_empty(self):
+        rt = make_rt()
+        order = []
+
+        def kickoff(ctx):
+            ctx.charge(10.0)
+            w = rt.worker(0)
+            w.post_task(lambda ctx: order.append("n1"))
+            w.post_task(lambda ctx: order.append("e1"), expedited=True)
+            w.post_task(lambda ctx: order.append("n2"))
+
+        rt.post(0, kickoff)
+        rt.run()
+        assert order == ["e1", "n1", "n2"]
+
+    def test_idle_hooks_fire_after_both_lanes_drain(self):
+        rt = make_rt()
+        events = []
+        rt.worker(0).idle_hooks.append(lambda w: events.append("idle"))
+
+        def kickoff(ctx):
+            ctx.charge(10.0)
+            w = rt.worker(0)
+            w.post_task(lambda ctx: events.append("n"), expedited=False)
+            w.post_task(lambda ctx: events.append("e"), expedited=True)
+
+        rt.post(0, kickoff)
+        rt.run()
+        assert events == ["e", "n", "idle"]

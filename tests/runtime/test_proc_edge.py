@@ -1,0 +1,47 @@
+"""Edge-case tests for Process and Node helpers."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+
+
+class TestProcessState:
+    def test_shared_heap_is_per_process(self, tiny_rt):
+        tiny_rt.process(0).shared["k"] = 1
+        assert "k" not in tiny_rt.process(1).shared
+
+    def test_all_workers_idle_during_run(self, tiny_rt):
+        observations = []
+
+        def busy_task(ctx):
+            ctx.charge(1_000.0)
+
+        def probe():
+            observations.append(tiny_rt.process(0).all_workers_idle())
+
+        tiny_rt.post(0, busy_task)
+        tiny_rt.engine.after(500.0, probe)   # mid-task
+        tiny_rt.engine.after(5_000.0, probe)  # after completion
+        tiny_rt.run()
+        assert observations == [False, True]
+
+    def test_single_worker_process_receiver(self):
+        rt = RuntimeSystem(MachineConfig(1, 2, 1))
+        proc = rt.process(0)
+        assert proc.next_receiver() == 0
+        assert proc.next_receiver() == 0
+
+
+class TestNodeHelpers:
+    def test_node_worker_process_consistency(self, tiny_rt):
+        for node in tiny_rt.nodes:
+            for pid in node.processes:
+                assert tiny_rt.machine.node_of_process(pid) == node.node_id
+            for wid in node.workers:
+                assert tiny_rt.machine.node_of_worker(wid) == node.node_id
+
+    def test_nic_for_process_single_nic(self, tiny_rt):
+        node = tiny_rt.node(0)
+        for pid in node.processes:
+            assert node.nic_for_process(pid) is node.nic

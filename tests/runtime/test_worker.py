@@ -1,0 +1,146 @@
+"""Unit tests for the worker PE server."""
+
+import pytest
+
+from repro.errors import SimulationError
+
+
+class TestExecution:
+    def test_task_charges_occupy_pe(self, tiny_rt):
+        rt = tiny_rt
+        done = []
+
+        def task(ctx):
+            ctx.charge(500.0)
+            done.append(ctx.now)
+
+        rt.post(0, task)
+        rt.post(0, task)
+        rt.run()
+        # Second task starts only after the first's 500ns completes.
+        assert done == [0.0, 500.0]
+
+    def test_emissions_fire_at_completion(self, tiny_rt):
+        rt = tiny_rt
+        seen = []
+
+        def task(ctx):
+            ctx.charge(300.0)
+            ctx.emit(lambda: seen.append(rt.engine.now))
+
+        rt.post(0, task)
+        rt.run()
+        assert seen == [300.0]
+
+    def test_emission_delay(self, tiny_rt):
+        rt = tiny_rt
+        seen = []
+
+        def task(ctx):
+            ctx.charge(100.0)
+            ctx.emit(lambda: seen.append(rt.engine.now), delay=50.0)
+
+        rt.post(0, task)
+        rt.run()
+        assert seen == [150.0]
+
+    def test_zero_cost_task(self, tiny_rt):
+        rt = tiny_rt
+        seen = []
+        rt.post(0, lambda ctx: seen.append(ctx.now))
+        rt.run()
+        assert seen == [0.0]
+
+    def test_negative_charge_rejected(self, tiny_rt):
+        rt = tiny_rt
+        errors = []
+
+        def task(ctx):
+            try:
+                ctx.charge(-1.0)
+            except SimulationError as e:
+                errors.append(e)
+
+        rt.post(0, task)
+        rt.run()
+        assert errors
+
+    def test_stats_accumulate(self, tiny_rt):
+        rt = tiny_rt
+        rt.post(0, lambda ctx: ctx.charge(100.0))
+        rt.post(0, lambda ctx: ctx.charge(200.0))
+        rt.run()
+        w = rt.worker(0)
+        assert w.stats.tasks_executed == 2
+        assert w.stats.busy_ns == pytest.approx(300.0)
+
+
+class TestLanes:
+    def test_expedited_overtakes_normal(self, tiny_rt):
+        rt = tiny_rt
+        order = []
+
+        def kickoff(ctx):
+            # While this task runs (cost>0), three more arrive.
+            ctx.charge(100.0)
+            ctx.emit(enqueue_all)
+
+        def enqueue_all():
+            w = rt.worker(0)
+            w.post_task(lambda ctx: order.append("n1"))
+            w.post_task(lambda ctx: order.append("e1"), expedited=True)
+            w.post_task(lambda ctx: order.append("n2"))
+
+        rt.post(0, kickoff)
+        rt.run()
+        assert order == ["e1", "n1", "n2"]
+
+
+class TestIdleHooks:
+    def test_hook_fires_on_busy_to_idle_transition(self, tiny_rt):
+        rt = tiny_rt
+        transitions = []
+        rt.worker(0).idle_hooks.append(lambda w: transitions.append(rt.now))
+        rt.post(0, lambda ctx: ctx.charge(100.0))
+        rt.run()
+        assert transitions == [100.0]
+
+    def test_hook_posting_work_resumes_pe(self, tiny_rt):
+        rt = tiny_rt
+        ran = []
+
+        def hook(worker):
+            if not ran:
+                worker.post_task(lambda ctx: ran.append(ctx.now))
+
+        rt.worker(0).idle_hooks.append(hook)
+        rt.post(0, lambda ctx: ctx.charge(10.0))
+        rt.run()
+        assert ran == [10.0]
+
+    def test_hooks_not_fired_when_never_busy(self, tiny_rt):
+        rt = tiny_rt
+        fired = []
+        rt.worker(1).idle_hooks.append(lambda w: fired.append(1))
+        rt.post(0, lambda ctx: None)  # other worker
+        rt.run()
+        assert fired == []
+
+
+class TestOsNoise:
+    def test_noisy_rank_zero_slower(self, make_rt):
+        rt = make_rt(os_noise_factor=0.5)
+        times = {}
+
+        def task(ctx):
+            ctx.charge(1000.0)
+            ctx.emit(lambda w=ctx.worker.wid: times.__setitem__(w, rt.now))
+
+        rt.post(0, task)  # local rank 0 -> noisy
+        rt.post(1, task)  # local rank 1 -> clean
+        rt.run()
+        assert times[0] == pytest.approx(1500.0)
+        assert times[1] == pytest.approx(1000.0)
+
+    def test_no_noise_by_default(self, tiny_rt):
+        assert tiny_rt.worker(0)._noise_mult == 1.0

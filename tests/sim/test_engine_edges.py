@@ -1,0 +1,92 @@
+"""Edge cases of the engine's run-control semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestHorizonBoundaries:
+    def test_event_exactly_at_horizon_fires(self):
+        eng = Engine()
+        fired = []
+        eng.at(50.0, fired.append, "x")
+        eng.run(until=50.0)
+        assert fired == ["x"]
+        assert eng.now == 50.0
+
+    def test_event_just_after_horizon_deferred(self):
+        eng = Engine()
+        fired = []
+        eng.at(50.0 + 1e-9, fired.append, "x")
+        stats = eng.run(until=50.0)
+        assert fired == []
+        assert stats.horizon_reached
+        assert eng.pending == 1
+
+    def test_successive_horizons(self):
+        eng = Engine()
+        fired = []
+        for t in (10.0, 20.0, 30.0):
+            eng.at(t, fired.append, t)
+        eng.run(until=15.0)
+        assert fired == [10.0]
+        eng.run(until=25.0)
+        assert fired == [10.0, 20.0]
+        eng.run()
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_horizon_with_empty_queue(self):
+        eng = Engine()
+        stats = eng.run(until=100.0)
+        assert stats.events_fired == 0
+        # With nothing to do the clock does not jump to the horizon.
+        assert eng.now == 0.0
+
+    def test_clock_does_not_retreat_after_horizon(self):
+        eng = Engine()
+        eng.at(200.0, lambda: None)
+        eng.run(until=100.0)
+        assert eng.now == 100.0
+        eng.run()
+        assert eng.now == 200.0
+
+
+class TestRequeuedEventIdentity:
+    def test_deferred_event_not_duplicated(self):
+        eng = Engine()
+        count = [0]
+        eng.at(100.0, lambda: count.__setitem__(0, count[0] + 1))
+        eng.run(until=50.0)
+        eng.run(until=75.0)
+        eng.run()
+        assert count[0] == 1
+
+    def test_cancel_after_defer_is_safe_noop(self):
+        """Handles do not survive horizon requeueing: cancelling the
+        stale original neither stops the requeued copy nor corrupts
+        the queue's live-count accounting."""
+        eng = Engine()
+        fired = []
+        handle = eng.at(100.0, fired.append, "x")
+        eng.at(200.0, fired.append, "y")
+        eng.run(until=50.0)
+        eng.cancel(handle)  # stale: the copy is what is queued now
+        assert eng.pending == 2  # live count untouched by the stale cancel
+        eng.run()
+        assert fired == ["x", "y"]
+
+
+class TestZeroDurationChains:
+    def test_many_zero_delay_events_same_time(self):
+        eng = Engine()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n:
+                eng.after(0.0, chain, n - 1)
+
+        eng.after(0.0, chain, 100)
+        eng.run(max_events=500)
+        assert order == list(range(100, -1, -1))
+        assert eng.now == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the event queue (ordering, lazy deletion)."""
+
+import pytest
+
+from repro.sim.event import Event
+from repro.sim.queue import EventQueue
+
+
+def ev(time, seq):
+    return Event(time, seq, lambda: None, ())
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            q.push(ev(t, int(t)))
+        times = [q.pop().time for _ in range(5)]
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ties_broken_by_seq_fifo(self):
+        q = EventQueue()
+        for seq in (0, 1, 2):
+            q.push(ev(7.0, seq))
+        seqs = [q.pop().seq for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_returns_earliest_time_without_removing(self):
+        q = EventQueue()
+        q.push(ev(9.0, 0))
+        q.push(ev(2.0, 1))
+        assert q.peek_time() == 2.0
+        assert len(q) == 2
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        first = ev(1.0, 0)
+        q.push(first)
+        q.push(ev(2.0, 1))
+        first.cancel()
+        q.note_cancelled()
+        popped = q.pop()
+        assert popped.time == 2.0
+
+    def test_live_count_tracks_cancellation(self):
+        q = EventQueue()
+        a, b = ev(1.0, 0), ev(2.0, 1)
+        q.push(a)
+        q.push(b)
+        assert q.live_count == 2
+        a.cancel()
+        q.note_cancelled()
+        assert q.live_count == 1
+        assert bool(q)
+
+    def test_peek_discards_dead_heads(self):
+        q = EventQueue()
+        a = ev(1.0, 0)
+        q.push(a)
+        q.push(ev(5.0, 1))
+        a.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_compact_drops_corpses(self):
+        q = EventQueue()
+        events = [ev(float(i), i) for i in range(10)]
+        for e in events:
+            q.push(e)
+        for e in events[:5]:
+            e.cancel()
+            q.note_cancelled()
+        assert q.raw_size == 10
+        q.compact()
+        assert q.raw_size == 5
+        assert q.live_count == 5
+        assert q.pop().time == 5.0
+
+    def test_all_cancelled_means_empty(self):
+        q = EventQueue()
+        a = ev(1.0, 0)
+        q.push(a)
+        a.cancel()
+        q.note_cancelled()
+        assert not q
+        assert q.pop() is None
+
+
+class TestEventRepr:
+    def test_lt_uses_time_then_seq(self):
+        assert ev(1.0, 5) < ev(2.0, 0)
+        assert ev(1.0, 0) < ev(1.0, 1)
+        assert not (ev(2.0, 0) < ev(1.0, 9))
+
+    def test_cancel_sets_flag(self):
+        e = ev(1.0, 0)
+        assert e.alive
+        e.cancel()
+        assert not e.alive

@@ -1,0 +1,81 @@
+"""Unit tests for time units/formatting and the tracer."""
+
+import pytest
+
+from repro.sim.simtime import MS, NS, SEC, US, fmt_time, to_ms, to_seconds, to_us
+from repro.sim.trace import Tracer
+
+
+class TestUnits:
+    def test_constants(self):
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_conversions(self):
+        assert to_us(1500.0) == 1.5
+        assert to_ms(2_500_000.0) == 2.5
+        assert to_seconds(SEC) == 1.0
+
+
+class TestFmtTime:
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (0.0, "0ns"),
+            (1.0, "1.000ns"),
+            (999.0, "999.000ns"),
+            (1500.0, "1.500us"),
+            (2_000_000.0, "2.000ms"),
+            (3 * SEC, "3.000s"),
+            (-1500.0, "-1.500us"),
+        ],
+    )
+    def test_formatting(self, ns, expected):
+        assert fmt_time(ns) == expected
+
+
+class TestTracer:
+    def test_records_enabled_categories_only(self):
+        t = Tracer(categories=["send"])
+        t.record("send", x=1)
+        t.record("recv", x=2)
+        assert t.count("send") == 1
+        assert t.count("recv") == 0
+
+    def test_none_captures_everything(self):
+        t = Tracer()
+        t.record("a")
+        t.record("b")
+        assert len(t) == 2
+
+    def test_capacity_evicts_oldest(self):
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.record("x", i=i)
+        assert len(t) == 3
+        assert t.dropped == 2
+        values = [f["i"] for _, f in t.records("x")]
+        assert values == [2, 3, 4]
+
+    def test_clear(self):
+        t = Tracer()
+        t.record("x")
+        t.clear()
+        assert len(t) == 0
+        assert t.dropped == 0
+
+    def test_records_filter(self):
+        t = Tracer()
+        t.record("a", v=1)
+        t.record("b", v=2)
+        assert t.records("a") == [("a", {"v": 1})]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_wants(self):
+        t = Tracer(categories=["x"])
+        assert t.wants("x")
+        assert not t.wants("y")

@@ -1,0 +1,73 @@
+"""API-surface guarantees: exports resolve, doctests pass.
+
+A downstream user's first contact is ``from repro import ...`` and the
+docstring examples; both are contract-tested here.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.machine",
+    "repro.network",
+    "repro.runtime",
+    "repro.tram",
+    "repro.tram.schemes",
+    "repro.analysis",
+    "repro.apps",
+    "repro.harness",
+    "repro.util",
+]
+
+DOCTEST_MODULES = [
+    "repro.sim.simtime",
+    "repro.sim.rng",
+    "repro.util.tables",
+    "repro.harness.sweep",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), f"{package} lacks __all__"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_quickstart_objects(self):
+        from repro import CostModel, MachineConfig, RuntimeSystem
+        from repro.tram import TramConfig, make_scheme
+
+        rt = RuntimeSystem(MachineConfig(1, 1, 2), CostModel())
+        tram = make_scheme("WPs", rt, TramConfig(),
+                           deliver_item=lambda c, i: None)
+        assert tram.name == "WPs"
+
+    def test_scheme_registry_names(self):
+        """Every scheme constructible by its canonical name."""
+        from repro import MachineConfig, RuntimeSystem
+        from repro.tram import make_scheme
+
+        for name in ("WW", "WPs", "WsP", "PP", "Direct", "WNs", "NN", "R2D"):
+            rt = RuntimeSystem(MachineConfig(2, 2, 2))
+            tram = make_scheme(name, rt, deliver_item=lambda c, i: None)
+            assert tram.name == name
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module", DOCTEST_MODULES)
+    def test_module_doctests(self, module):
+        mod = importlib.import_module(module)
+        results = doctest.testmod(mod, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,70 @@
+"""Tests for the error hierarchy and item containers."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeliveryError,
+    HarnessError,
+    QuiescenceError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.tram.item import BulkBatch, Item, ItemBatch
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, DeliveryError, HarnessError, QuiescenceError,
+         SchedulingError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+        assert issubclass(DeliveryError, SimulationError)
+        assert issubclass(QuiescenceError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("x")
+
+
+class TestItem:
+    def test_fields(self):
+        item = Item(dst=3, src=1, created=5.0, payload="p", priority=2.0)
+        assert (item.dst, item.src, item.created) == (3, 1, 5.0)
+        assert item.payload == "p"
+        assert item.priority == 2.0
+
+    def test_defaults(self):
+        item = Item(dst=0, src=0, created=0.0)
+        assert item.payload is None
+        assert item.priority is None
+
+
+class TestItemBatch:
+    def test_count(self):
+        batch = ItemBatch([Item(0, 0, 0.0), Item(1, 0, 0.0)])
+        assert batch.count == 2
+        assert not batch.grouped
+        assert batch.sections is None
+
+    def test_grouped_sections(self):
+        items = [Item(0, 0, 0.0)]
+        batch = ItemBatch(items, grouped=True, sections=[(0, items)])
+        assert batch.grouped
+        assert batch.sections[0][0] == 0
+
+
+class TestBulkBatch:
+    def test_minimal(self):
+        batch = BulkBatch(
+            count=5, dst_ids=None, dst_counts=None, src_ids=None,
+            src_counts=None, t_sum=10.0, t_min=1.0,
+        )
+        assert batch.count == 5
+        assert not batch.grouped

@@ -1,0 +1,159 @@
+"""Destination-side mechanics: receiver rotation, self-sections,
+pre-grouped WsP payloads, non-SMP operation."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig, nonsmp_machine
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=4)
+
+
+class TestReceiverRotation:
+    def test_process_messages_spread_across_pes(self):
+        """WPs receiver grouping work rotates over the dest process's
+        PEs instead of hot-spotting one (Process.next_receiver)."""
+        rt = RuntimeSystem(MACHINE, seed=0)
+        tram = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=2),
+            deliver_item=lambda ctx, it: None,
+        )
+
+        def driver(ctx):
+            for i in range(16):
+                # All to process 3 (workers 12..15), full every 2 items.
+                tram.insert(ctx, dst=12 + (i % 4))
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        receivers = [
+            rt.worker(w).stats.messages_received for w in range(12, 16)
+        ]
+        assert sum(receivers) == 8  # 16 items / g=2
+        assert max(receivers) <= 3  # spread, not all on one PE
+
+
+class TestSelfSection:
+    def test_receiver_keeps_its_own_items_inline(self):
+        """When the rotating receiver is itself a destination, its
+        section is delivered inline without a local send."""
+        rt = RuntimeSystem(MACHINE, seed=0)
+        delivered = []
+        tram = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=8),
+            deliver_item=lambda ctx, it: delivered.append(ctx.worker.wid),
+        )
+
+        def driver(ctx):
+            # 8 items, two per PE of process 3 -> exactly one message.
+            for dst in (12, 13, 14, 15, 12, 13, 14, 15):
+                tram.insert(ctx, dst=dst)
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert sorted(delivered) == [12, 12, 13, 13, 14, 14, 15, 15]
+        # 4 sections, one of which (the receiver's own) is inline.
+        assert tram.stats.local_sections == 3
+
+
+class TestWsPSections:
+    def test_pregrouped_sections_reach_right_pes(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        arrivals = []
+        tram = make_scheme(
+            "WsP", rt, TramConfig(buffer_items=6),
+            deliver_item=lambda ctx, it: arrivals.append(
+                (ctx.worker.wid, it.dst)
+            ),
+        )
+
+        def driver(ctx):
+            for dst in (12, 13, 12, 14, 13, 12):  # one full buffer
+                tram.insert(ctx, dst=dst)
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert len(arrivals) == 6
+        for worker, dst in arrivals:
+            assert worker == dst
+
+    def test_wsp_destination_skips_group_cost(self):
+        """WsP receivers only dispatch; WPs receivers group. The group
+        work shows up at different ends but totals the same elements."""
+        def group_elements(scheme):
+            rt = RuntimeSystem(MACHINE, seed=0)
+            tram = make_scheme(
+                scheme, rt, TramConfig(buffer_items=4),
+                deliver_item=lambda ctx, it: None,
+            )
+
+            def driver(ctx):
+                for i in range(8):
+                    tram.insert(ctx, dst=12 + (i % 4))
+
+            rt.post(0, driver)
+            rt.run(max_events=100_000)
+            return tram.stats.group_elements
+
+        assert group_elements("WsP") == group_elements("WPs")
+
+
+class TestNonSmpOperation:
+    @pytest.mark.parametrize("scheme", ["WW", "WPs", "PP"])
+    def test_schemes_work_without_commthreads(self, scheme):
+        machine = nonsmp_machine(2, ranks_per_node=4)
+        rt = RuntimeSystem(machine, seed=0)
+        got = []
+        tram = make_scheme(
+            scheme, rt, TramConfig(buffer_items=4),
+            deliver_item=lambda ctx, it: got.append(it.payload),
+        )
+
+        def driver(ctx):
+            for i in range(10):
+                tram.insert(ctx, dst=(ctx.worker.wid + 1 + i) % 8,
+                            payload=(ctx.worker.wid, i))
+            tram.flush(ctx)
+
+        for w in range(8):
+            rt.post(w, driver)
+        rt.run(max_events=200_000)
+        assert len(got) == 80
+        assert tram.pending_items() == 0
+
+    def test_nonsmp_send_cost_charged_to_worker(self):
+        machine = nonsmp_machine(2, ranks_per_node=2)
+        rt = RuntimeSystem(machine, seed=0)
+        tram = make_scheme(
+            "WW", rt, TramConfig(buffer_items=1),
+            deliver_item=lambda ctx, it: None,
+        )
+        rt.post(0, lambda ctx: tram.insert(ctx, dst=3))
+        rt.run(max_events=10_000)
+        # Worker 0 paid pack + nonsmp send service.
+        min_cost = rt.costs.pack_msg_ns + rt.costs.nonsmp_send_ns
+        assert rt.worker(0).stats.busy_ns >= min_cost
+
+
+class TestBulkSelfSection:
+    def test_bulk_message_with_receiver_as_destination(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        received = np.zeros(16, dtype=np.int64)
+        tram = make_scheme(
+            "WPs", rt, TramConfig(buffer_items=16),
+            deliver_bulk=lambda ctx, w, n, si, sc: np.add.at(
+                received, [w], [n]
+            ),
+        )
+
+        def driver(ctx):
+            counts = np.zeros(16, dtype=np.int64)
+            counts[12:16] = 4  # all PEs of process 3, incl. receiver
+            tram.insert_bulk(ctx, counts)
+
+        rt.post(0, driver)
+        rt.run(max_events=100_000)
+        assert (received[12:16] == 4).all()
+        assert received.sum() == 16

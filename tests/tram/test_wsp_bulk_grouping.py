@@ -1,0 +1,58 @@
+"""WsP bulk-mode grouping: the sort cost moves to the source side."""
+
+import numpy as np
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=4)
+
+
+def run_bulk(scheme):
+    rt = RuntimeSystem(MACHINE, seed=0)
+    tram = make_scheme(
+        scheme, rt, TramConfig(buffer_items=16),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+
+    def driver(ctx):
+        counts = np.zeros(MACHINE.total_workers, dtype=np.int64)
+        counts[12:16] = 8  # remote process 3, 32 items = 2 messages
+        tram.insert_bulk(ctx, counts)
+        tram.flush(ctx)
+
+    rt.post(0, driver)
+    rt.run(max_events=100_000)
+    return rt, tram
+
+
+class TestWsPBulkGrouping:
+    def test_same_group_element_totals(self):
+        """WsP and WPs do the same total grouping work — on opposite
+        ends of the wire."""
+        _, wsp = run_bulk("WsP")
+        _, wps = run_bulk("WPs")
+        assert wsp.stats.group_elements == wps.stats.group_elements > 0
+
+    def test_wsp_sender_pays_the_sort(self):
+        """The sending PE's busy time carries the grouping charge under
+        WsP; under WPs the receiving process's PEs carry it."""
+        rt_wsp, _ = run_bulk("WsP")
+        rt_wps, _ = run_bulk("WPs")
+        sender_wsp = rt_wsp.worker(0).stats.busy_ns
+        sender_wps = rt_wps.worker(0).stats.busy_ns
+        assert sender_wsp > sender_wps
+        receivers_wsp = sum(
+            rt_wsp.worker(w).stats.busy_ns for w in range(12, 16)
+        )
+        receivers_wps = sum(
+            rt_wps.worker(w).stats.busy_ns for w in range(12, 16)
+        )
+        assert receivers_wps > receivers_wsp
+
+    def test_identical_delivery_counts(self):
+        _, wsp = run_bulk("WsP")
+        _, wps = run_bulk("WPs")
+        assert wsp.stats.items_delivered == wps.stats.items_delivered == 32
+        assert wsp.stats.messages_sent == wps.stats.messages_sent

@@ -1,0 +1,73 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.sim.trace import Tracer
+from repro.tram import TramConfig, make_scheme
+from repro.util.timeline import (
+    attach_task_tracing,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def traced_run():
+    tracer = Tracer(categories=["task"])
+    rt = RuntimeSystem(MachineConfig(2, 2, 2), seed=0)
+    attach_task_tracing(rt, tracer)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=4),
+        deliver_item=lambda ctx, it: None,
+    )
+
+    def driver(ctx):
+        for dst in range(8):
+            tram.insert(ctx, dst=dst)
+        tram.flush(ctx)
+
+    rt.post(0, driver)
+    rt.run()
+    return rt, tracer
+
+
+class TestTimeline:
+    def test_tasks_recorded(self, traced_run):
+        rt, tracer = traced_run
+        assert tracer.count("task") == sum(
+            w.stats.tasks_executed for w in rt.workers
+        )
+
+    def test_event_fields(self, traced_run):
+        _, tracer = traced_run
+        events = chrome_trace_events(tracer)
+        assert events
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0
+            assert ev["dur"] > 0
+            assert isinstance(ev["tid"], int)
+
+    def test_events_cover_multiple_workers(self, traced_run):
+        _, tracer = traced_run
+        tids = {ev["tid"] for ev in chrome_trace_events(tracer)}
+        assert len(tids) > 1  # driver PE plus destinations
+
+    def test_write_file(self, traced_run, tmp_path):
+        _, tracer = traced_run
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(tracer, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == n
+        assert data["displayTimeUnit"] == "ns"
+
+    def test_untraced_run_produces_nothing(self):
+        tracer = Tracer(categories=["task"])
+        rt = RuntimeSystem(MachineConfig(1, 1, 2), seed=0)
+        rt.post(0, lambda ctx: ctx.charge(10.0))
+        rt.run()
+        assert chrome_trace_events(tracer) == []
