@@ -1,0 +1,96 @@
+"""Guard: disabled observability must stay off the hot path.
+
+The stage-span instrumentation is gated on ``ObsConfig`` — when no
+config is active (or ``enabled=False``) every per-message check reduces
+to a single ``is None`` test, so a run with observability *disabled*
+must cost the same as one built with no observability arguments at all.
+This bench times both interleaved and asserts the disabled-config run
+is within 5% of baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.machine import MachineConfig
+from repro.obs import ObsConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2,
+                        workers_per_process=4)
+ROUNDS = 20
+ITEMS_PER_ROUND = 1000
+REPEATS = 5
+MAX_RATIO = 1.05
+
+
+def _run(obs):
+    rt = RuntimeSystem(MACHINE, seed=0, obs=obs)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=64),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx, remaining):
+        rng = rt.rng.stream(f"obs/{ctx.worker.wid}")
+        counts = np.bincount(
+            rng.integers(0, W, ITEMS_PER_ROUND), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        if remaining:
+            ctx.emit(ctx.worker.post_task, driver, remaining - 1)
+        else:
+            tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver, ROUNDS)
+    rt.run()
+    return tram.stats.items_delivered
+
+
+def _time(obs):
+    start = time.perf_counter()
+    delivered = _run(obs)
+    elapsed = time.perf_counter() - start
+    assert delivered == MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+    return elapsed
+
+
+def test_disabled_obs_is_free():
+    # Interleave the two variants and take each one's best-of-N so a
+    # transient stall on either side cannot fake (or hide) a regression.
+    baseline, disabled = [], []
+    _time(None)  # warm imports / allocator before the timed repeats
+    for _ in range(REPEATS):
+        baseline.append(_time(None))
+        disabled.append(_time(ObsConfig(enabled=False)))
+    ratio = min(disabled) / min(baseline)
+    assert ratio < MAX_RATIO, (
+        f"disabled observability costs {ratio:.3f}x baseline "
+        f"(limit {MAX_RATIO}x)"
+    )
+
+
+def test_enabled_obs_records_stages():
+    """Sanity: the same workload with obs *on* actually attributes time."""
+    rt_check = RuntimeSystem(MACHINE, seed=0, obs=ObsConfig())
+    tram = make_scheme(
+        "WPs", rt_check, TramConfig(buffer_items=64),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx):
+        rng = rt_check.rng.stream(f"obs/{ctx.worker.wid}")
+        counts = np.bincount(rng.integers(0, W, 500), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt_check.post(w, driver)
+    rt_check.run()
+    assert tram.stages is not None
+    assert tram.stages.total_ns() > 0.0

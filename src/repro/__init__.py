@@ -11,6 +11,8 @@ The package provides:
   threads, transport, chares);
 * :mod:`repro.tram` — **TramLib**, the paper's contribution: the WW,
   WPs, WsP and PP aggregation schemes plus flush policies and stats;
+* :mod:`repro.obs` — stage-attributed latency spans, the metrics
+  registry and per-run snapshots behind ``--metrics-out``;
 * :mod:`repro.analysis` — the paper's §III-C closed-form cost analysis;
 * :mod:`repro.apps` — PingAck, histogram, index-gather, SSSP and PHOLD;
 * :mod:`repro.harness` — per-figure experiment harness and CLI.
@@ -41,6 +43,7 @@ from repro.machine import (
     nonsmp_machine,
     small_test_machine,
 )
+from repro.obs import ObsConfig, ObsSession
 from repro.runtime import Chare, ExecContext, QDCounter, RuntimeSystem
 from repro.sim import MS, NS, SEC, US, Engine, RngStreams, Tracer, fmt_time
 
@@ -57,6 +60,8 @@ __all__ = [
     "MS",
     "MachineConfig",
     "NS",
+    "ObsConfig",
+    "ObsSession",
     "QDCounter",
     "QuiescenceError",
     "ReproError",

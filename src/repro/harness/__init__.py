@@ -7,6 +7,12 @@ Profiles: ``paper`` (default, minutes) and ``quick`` (seconds, used by
 the pytest benchmarks).
 """
 
+from repro.harness.artifact import (
+    METRICS_SCHEMA,
+    build_metrics_payload,
+    validate_metrics_payload,
+    write_metrics_json,
+)
 from repro.harness.experiment import FigureData, Series
 from repro.harness.figures import FIGURES, run_figure
 from repro.harness.metrics import UtilizationReport, utilization
@@ -16,16 +22,19 @@ from repro.harness.validate import CheckResult, validate_figure, validate_reprod
 
 __all__ = [
     "FIGURES",
+    "METRICS_SCHEMA",
     "FigureData",
     "Series",
     "SweepCell",
     "SweepResult",
     "CheckResult",
     "UtilizationReport",
+    "build_metrics_payload",
     "run_figure",
     "run_sweep",
     "utilization",
     "validate_figure",
-    "validate_reproduction",
+    "validate_metrics_payload",
+    "write_metrics_json",
     "write_report",
 ]

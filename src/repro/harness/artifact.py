@@ -1,0 +1,216 @@
+"""Machine-readable run artifacts (``--metrics-out``).
+
+One JSON document per harness invocation, schema-versioned so external
+tooling (CI checks, regression dashboards, notebook analysis) can parse
+runs without scraping text tables. The payload bundles:
+
+* the invocation config (target, profile, anything the caller adds);
+* the figure/sweep data that the text report renders;
+* one :func:`repro.obs.snapshot.run_snapshot` per completed simulation
+  run — machine shape, per-scheme stats and stage breakdowns,
+  utilization with the bottleneck verdict, and the metrics-registry
+  dump;
+* a cross-run summary naming the dominant bottleneck.
+
+:func:`validate_metrics_payload` is the reader-side contract check the
+CI job runs on freshly produced artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Bump on any backwards-incompatible payload change.
+METRICS_SCHEMA = "repro.run-metrics/1"
+
+#: Keys every per-run snapshot must carry (see ``run_snapshot``).
+_RUN_KEYS = ("machine", "total_time_ns", "transport", "schemes", "metrics")
+
+#: Tolerance for the stage-partition identity check (the stage
+#: histograms are exact up to pro-rata float splits).
+_STAGE_REL_TOL = 1e-6
+
+
+def _jsonable(obj: Any) -> Any:
+    """JSON fallback: numpy scalars, paths, dataclasses, sequences."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return asdict(obj)
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if hasattr(obj, "tolist"):  # numpy array
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _figure_dict(figure: Any) -> dict:
+    return {
+        "fig_id": figure.fig_id,
+        "title": figure.title,
+        "xlabel": figure.xlabel,
+        "ylabel": figure.ylabel,
+        "x": list(figure.x),
+        "series": [{"name": s.name, "y": list(s.y)} for s in figure.series],
+        "expected": figure.expected,
+        "notes": figure.notes,
+    }
+
+
+def _sweep_dict(sweep: Any) -> dict:
+    return {
+        "axes": {name: list(vals) for name, vals in sweep.axes.items()},
+        "metric": sweep.metric,
+        "cells": [
+            {
+                "params": dict(c.params),
+                "values": list(c.values),
+                "mean": c.mean,
+                "std": c.std,
+            }
+            for c in sweep.cells
+        ],
+    }
+
+
+def _summary_dict(runs: Sequence[dict]) -> dict:
+    verdicts = Counter()
+    for run in runs:
+        util = run.get("utilization")
+        if util and util.get("bottleneck"):
+            verdicts[util["bottleneck"]] += 1
+    return {
+        "n_runs": len(runs),
+        "bottleneck_counts": dict(verdicts),
+        # The modal verdict across runs; None when nothing reported one.
+        "bottleneck": verdicts.most_common(1)[0][0] if verdicts else None,
+    }
+
+
+def build_metrics_payload(
+    *,
+    target: str,
+    profile: str,
+    runs: Sequence[dict],
+    figure: Any = None,
+    sweep: Any = None,
+    extra_config: Optional[Dict[str, Any]] = None,
+) -> dict:
+    """Assemble the schema-versioned artifact for one harness invocation.
+
+    Parameters
+    ----------
+    target:
+        What was run (a figure id, ``"sweep"``, an app name, ...).
+    profile:
+        The harness profile (``paper``/``quick``) or equivalent label.
+    runs:
+        Per-run snapshots, normally ``ObsSession.records``.
+    figure / sweep:
+        Optional :class:`~repro.harness.experiment.FigureData` /
+        :class:`~repro.harness.sweep.SweepResult` to embed.
+    extra_config:
+        Free-form invocation parameters worth recording.
+    """
+    return {
+        "schema": METRICS_SCHEMA,
+        "target": target,
+        "profile": profile,
+        "config": dict(extra_config) if extra_config else {},
+        "figure": _figure_dict(figure) if figure is not None else None,
+        "sweep": _sweep_dict(sweep) if sweep is not None else None,
+        "runs": list(runs),
+        "summary": _summary_dict(runs),
+    }
+
+
+def write_metrics_json(path: Any, payload: dict) -> Path:
+    """Serialize a payload to ``path`` (parents created). Returns path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, default=_jsonable, sort_keys=False)
+        + "\n"
+    )
+    return out
+
+
+def _check_scheme(prefix: str, scheme: Any, errors: List[str]) -> None:
+    if not isinstance(scheme, dict):
+        errors.append(f"{prefix}: not an object")
+        return
+    for key in ("name", "stats", "latency"):
+        if key not in scheme:
+            errors.append(f"{prefix}: missing {key!r}")
+    stages = scheme.get("stages")
+    latency = scheme.get("latency")
+    if stages is not None and isinstance(latency, dict):
+        # Stage-partition identity: the non-handler stages must sum to
+        # the scheme's end-to-end latency total.
+        total = sum(
+            h.get("total_ns", 0.0)
+            for name, h in stages.items()
+            if name != "handler"
+        )
+        lat_total = latency.get("total_ns", 0.0)
+        tol = _STAGE_REL_TOL * max(abs(lat_total), 1.0)
+        if abs(total - lat_total) > tol:
+            errors.append(
+                f"{prefix}: stage breakdown ({total}) does not sum to "
+                f"end-to-end latency total ({lat_total})"
+            )
+
+
+def _check_run(prefix: str, run: Any, errors: List[str]) -> None:
+    if not isinstance(run, dict):
+        errors.append(f"{prefix}: not an object")
+        return
+    for key in _RUN_KEYS:
+        if key not in run:
+            errors.append(f"{prefix}: missing {key!r}")
+    util = run.get("utilization")
+    if util is not None:
+        if not isinstance(util, dict):
+            errors.append(f"{prefix}: utilization is not an object")
+        elif "bottleneck" not in util:
+            errors.append(f"{prefix}: utilization missing 'bottleneck'")
+    for i, scheme in enumerate(run.get("schemes") or ()):
+        _check_scheme(f"{prefix}.schemes[{i}]", scheme, errors)
+
+
+def validate_metrics_payload(payload: Any) -> List[str]:
+    """Check a parsed artifact against the schema; returns problems.
+
+    An empty list means the payload is well-formed. Checks cover the
+    envelope, per-run required keys, the utilization/bottleneck block,
+    and the stage-partition identity on every scheme that carries a
+    stage breakdown.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != METRICS_SCHEMA:
+        errors.append(
+            f"schema mismatch: expected {METRICS_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for key in ("target", "profile", "runs", "summary"):
+        if key not in payload:
+            errors.append(f"missing top-level key {key!r}")
+    runs = payload.get("runs")
+    if runs is not None and not isinstance(runs, list):
+        errors.append("'runs' is not a list")
+        runs = None
+    for i, run in enumerate(runs or ()):
+        _check_run(f"runs[{i}]", run, errors)
+    summary = payload.get("summary")
+    if isinstance(summary, dict):
+        if runs is not None and summary.get("n_runs") != len(runs):
+            errors.append("summary.n_runs does not match len(runs)")
+    elif summary is not None:
+        errors.append("'summary' is not an object")
+    return errors

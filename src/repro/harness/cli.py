@@ -30,7 +30,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="figure id (e.g. fig9), 'all', 'report', 'validate', or 'list'",
+        help=(
+            "figure id (e.g. fig9), 'all', 'report', 'validate', "
+            "'validate-metrics', or 'list'"
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="artifact to check (validate-metrics target only)",
     )
     parser.add_argument(
         "--profile",
@@ -44,20 +54,66 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to also write per-figure .txt reports into",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a machine-readable JSON artifact (schema "
+            "repro.run-metrics/1) with per-run stage breakdowns, "
+            "utilization and the bottleneck verdict; for 'all', PATH is "
+            "a directory with one <fig>.json per figure"
+        ),
+    )
     return parser
 
 
-def _run_one(fig_id: str, profile: str, out: Optional[Path]) -> None:
+def _run_one(
+    fig_id: str,
+    profile: str,
+    out: Optional[Path],
+    metrics_out: Optional[Path] = None,
+) -> None:
     t0 = time.perf_counter()
-    data = run_figure(fig_id, profile)
+    data = run_figure(fig_id, profile, metrics_path=metrics_out)
     elapsed = time.perf_counter() - t0
     report = data.render()
     print(report)
     print(f"[{fig_id} regenerated in {elapsed:.1f}s wall]")
+    if metrics_out is not None:
+        print(f"[metrics artifact written to {metrics_out}]")
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{fig_id}.txt").write_text(report + "\n")
+
+
+def _validate_metrics(path: Optional[Path]) -> int:
+    import json
+
+    from repro.harness.artifact import validate_metrics_payload
+
+    if path is None:
+        print("error: validate-metrics needs a path argument", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_metrics_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"INVALID: {err}")
+        return 1
+    runs = payload.get("runs", [])
+    verdict = (payload.get("summary") or {}).get("bottleneck")
+    print(
+        f"OK: {path} ({payload.get('target')}, {len(runs)} run(s), "
+        f"bottleneck: {verdict})"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -67,9 +123,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for fig_id, (_, desc) in FIGURES.items():
             print(f"{fig_id.ljust(width)}  {desc}")
         return 0
+    if args.target == "validate-metrics":
+        return _validate_metrics(args.path)
     if args.target == "all":
         for fig_id in FIGURES:
-            _run_one(fig_id, args.profile, args.out)
+            metrics_out = (
+                args.metrics_out / f"{fig_id}.json"
+                if args.metrics_out is not None
+                else None
+            )
+            _run_one(fig_id, args.profile, args.out, metrics_out)
         return 0
     if args.target == "validate":
         from repro.harness.validate import render_results, validate_reproduction
@@ -90,11 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target not in FIGURES:
         print(
             f"error: unknown target {args.target!r} "
-            f"(known: {', '.join(FIGURES)}, all, list)",
+            f"(known: {', '.join(FIGURES)}, all, report, validate, "
+            f"validate-metrics, list)",
             file=sys.stderr,
         )
         return 2
-    _run_one(args.target, args.profile, args.out)
+    _run_one(args.target, args.profile, args.out, args.metrics_out)
     return 0
 
 

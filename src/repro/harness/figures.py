@@ -589,12 +589,39 @@ FIGURES: Dict[str, Tuple[Callable[[str], FigureData], str]] = {
 }
 
 
-def run_figure(fig_id: str, profile: str = "paper") -> FigureData:
-    """Run one registered experiment by id."""
+def run_figure(
+    fig_id: str, profile: str = "paper", metrics_path=None
+) -> FigureData:
+    """Run one registered experiment by id.
+
+    With ``metrics_path`` set, the figure body runs inside an
+    :class:`~repro.obs.config.ObsSession` (stage-attributed latency
+    spans on) and a schema-versioned JSON artifact with one snapshot per
+    simulation run is written there (see :mod:`repro.harness.artifact`).
+    """
     try:
         fn, _ = FIGURES[fig_id]
     except KeyError:
         raise HarnessError(
             f"unknown figure {fig_id!r}; known: {', '.join(FIGURES)}"
         ) from None
-    return fn(profile)
+    if metrics_path is None:
+        return fn(profile)
+
+    from repro.harness.artifact import build_metrics_payload, write_metrics_json
+    from repro.obs import ObsConfig, ObsSession
+
+    # The shared sweeps memoize results; a cached hit would run no
+    # simulations inside the session and yield an empty artifact.
+    _ig_sweep.cache_clear()
+    _sssp_sweep.cache_clear()
+    with ObsSession(ObsConfig()) as session:
+        data = fn(profile)
+    payload = build_metrics_payload(
+        target=fig_id,
+        profile=profile,
+        runs=session.records,
+        figure=data,
+    )
+    write_metrics_json(metrics_path, payload)
+    return data

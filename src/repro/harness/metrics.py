@@ -9,7 +9,7 @@ becomes a serializing bottleneck") is literally a read of this report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, List
 
 from repro.util.tables import render_table
@@ -48,6 +48,10 @@ class UtilizationReport:
         }
         return max(candidates, key=candidates.get)
 
+    def to_dict(self) -> dict:
+        """All fields as a plain dict (JSON-serializable)."""
+        return asdict(self)
+
     def to_table(self) -> str:
         rows = [
             ["workers (mean/max)", f"{self.worker_mean:.1%}",
@@ -56,8 +60,12 @@ class UtilizationReport:
              f"{self.commthread_max:.1%}"],
             ["NIC tx / rx (mean)", f"{self.nic_tx_mean:.1%}",
              f"{self.nic_rx_mean:.1%}"],
+            ["comm-thread queue wait (total ns)",
+             f"{self.commthread_queue_wait_ns:,.0f}", ""],
+            ["NIC queue wait (total ns)",
+             f"{self.nic_queue_wait_ns:,.0f}", ""],
         ]
-        return render_table(["component", "a", "b"], rows)
+        return render_table(["component", "mean", "max"], rows)
 
 
 def utilization(rt: "RuntimeSystem") -> UtilizationReport:

@@ -68,6 +68,7 @@ def run_sweep(
     *,
     seeds: Sequence[int] = (0,),
     metric: str = "value",
+    metrics_path=None,
 ) -> SweepResult:
     """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
 
@@ -80,6 +81,11 @@ def run_sweep(
         Mapping of parameter name to the values to sweep.
     seeds:
         Seeds to replicate each cell over (error bars).
+    metrics_path:
+        Optional path: run the grid inside an
+        :class:`~repro.obs.config.ObsSession` and write the
+        schema-versioned JSON artifact there (per-run snapshots with
+        stage breakdowns; see :mod:`repro.harness.artifact`).
 
     Examples
     --------
@@ -94,8 +100,29 @@ def run_sweep(
         raise HarnessError("sweep needs at least one seed")
     names = list(axes)
     result = SweepResult(axes=dict(axes), metric=metric)
-    for combo in itertools.product(*(axes[n] for n in names)):
-        params = dict(zip(names, combo))
-        values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
-        result.cells.append(SweepCell(params=params, values=values))
+
+    def _grid() -> None:
+        for combo in itertools.product(*(axes[n] for n in names)):
+            params = dict(zip(names, combo))
+            values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
+            result.cells.append(SweepCell(params=params, values=values))
+
+    if metrics_path is None:
+        _grid()
+        return result
+
+    from repro.harness.artifact import build_metrics_payload, write_metrics_json
+    from repro.obs import ObsConfig, ObsSession
+
+    with ObsSession(ObsConfig()) as session:
+        _grid()
+    payload = build_metrics_payload(
+        target=f"sweep:{metric}",
+        profile="custom",
+        runs=session.records,
+        sweep=result,
+        extra_config={"axes": {n: list(axes[n]) for n in names},
+                      "seeds": list(seeds)},
+    )
+    write_metrics_json(metrics_path, payload)
     return result

@@ -56,6 +56,11 @@ class NetMessage:
     send_time:
         Simulated time the message left the source worker; filled by the
         transport.
+    span:
+        Optional :class:`repro.obs.spans.MsgSpan` transit record. Only
+        attached when observability is enabled; every transport
+        component that touches the message attributes its simulated time
+        here. ``None`` (the default) keeps the hot path span-free.
     """
 
     kind: str
@@ -66,6 +71,7 @@ class NetMessage:
     dst_worker: Optional[int] = None
     expedited: bool = True
     send_time: float = 0.0
+    span: Optional[Any] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     def addressed_to_worker(self) -> bool:

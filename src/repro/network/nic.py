@@ -73,6 +73,16 @@ class Nic:
         self._tx_free = start + occupancy
         self.stats.tx_messages += 1
         self.stats.tx_bytes += msg.size_bytes
+        span = msg.span
+        if span is not None:
+            span.nic_tx_queue_ns += start - now
+            span.wire_ns += occupancy + wire_latency_ns
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.record(
+                "msg", hop="nic_tx", node=self.node_id, msg_id=msg.msg_id,
+                start=start, dur=occupancy,
+            )
         arrival = self._tx_free + wire_latency_ns
         self.engine.at(arrival, dst_nic.receive, msg)
 
@@ -87,6 +97,15 @@ class Nic:
         self._rx_free = start + occupancy
         self.stats.rx_messages += 1
         self.stats.rx_bytes += msg.size_bytes
+        span = msg.span
+        if span is not None:
+            span.nic_rx_ns += (start - now) + occupancy
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.record(
+                "msg", hop="nic_rx", node=self.node_id, msg_id=msg.msg_id,
+                start=start, dur=occupancy,
+            )
         self.engine.at(self._rx_free, self.sink, msg)
 
     @property

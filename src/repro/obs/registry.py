@@ -1,0 +1,241 @@
+"""A unified, named, typed metrics namespace.
+
+Every counter the simulator keeps — ``TramStats``, worker /
+comm-thread / NIC stats, transport route counters, the utilization
+report — registers here under a dotted name with a kind (``counter``,
+``gauge`` or ``histogram``) and a unit, so tools can enumerate and
+snapshot them uniformly instead of spelunking component objects.
+
+Readers are callables evaluated at snapshot time, so a registry built
+before ``rt.run()`` reads post-run values for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.obs.hist import Log2Histogram
+
+#: Schema identifier stamped into :meth:`MetricsRegistry.to_json`.
+REGISTRY_SCHEMA = "repro.metrics-registry/1"
+
+KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named metric: metadata plus a value reader."""
+
+    name: str
+    kind: str
+    read: Callable[[], Any]
+    unit: str = ""
+    help: str = ""
+
+    def value(self) -> Any:
+        """Current value; histograms resolve to their summary dict."""
+        v = self.read()
+        if isinstance(v, Log2Histogram):
+            return v.summary()
+        return v
+
+
+class MetricsRegistry:
+    """Collision-checked collection of :class:`Metric` objects."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def register(
+        self,
+        name: str,
+        kind: str,
+        read: Callable[[], Any],
+        *,
+        unit: str = "",
+        help: str = "",
+    ) -> Metric:
+        """Add a metric; duplicate names and unknown kinds are errors."""
+        if kind not in KINDS:
+            raise ConfigError(f"unknown metric kind {kind!r}; use one of {KINDS}")
+        if name in self._metrics:
+            raise ConfigError(f"metric {name!r} already registered")
+        metric = Metric(name=name, kind=kind, read=read, unit=unit, help=help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, read: Callable[[], Any], **kw: str) -> Metric:
+        return self.register(name, "counter", read, **kw)
+
+    def gauge(self, name: str, read: Callable[[], Any], **kw: str) -> Metric:
+        return self.register(name, "gauge", read, **kw)
+
+    def histogram(self, name: str, read: Callable[[], Any], **kw: str) -> Metric:
+        return self.register(name, "histogram", read, **kw)
+
+    def names(self) -> list:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Name -> current value for every registered metric."""
+        return {name: self._metrics[name].value() for name in self.names()}
+
+    def to_json(self) -> dict:
+        """Schema-versioned snapshot including metadata per metric."""
+        return {
+            "schema": REGISTRY_SCHEMA,
+            "metrics": {
+                name: {
+                    "kind": m.kind,
+                    "unit": m.unit,
+                    "help": m.help,
+                    "value": m.value(),
+                }
+                for name, m in sorted(self._metrics.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Runtime wiring
+# ----------------------------------------------------------------------
+_TRAM_COUNTERS = (
+    ("items_inserted", "items"),
+    ("items_delivered", "items"),
+    ("items_bypassed_local", "items"),
+    ("messages_full", "messages"),
+    ("messages_flush", "messages"),
+    ("bytes_sent", "bytes"),
+    ("atomic_inserts", "items"),
+    ("group_elements", "elements"),
+    ("local_sections", "sections"),
+    ("messages_forwarded", "messages"),
+    ("buffers_allocated", "buffers"),
+    ("buffer_bytes_allocated", "bytes"),
+    ("flushes_requested", "flushes"),
+    ("priority_flushes", "flushes"),
+)
+
+_UTIL_GAUGES = (
+    "worker_mean",
+    "worker_max",
+    "commthread_mean",
+    "commthread_max",
+    "nic_tx_mean",
+    "nic_rx_mean",
+    "commthread_queue_wait_ns",
+    "nic_queue_wait_ns",
+)
+
+
+def _utilization_reader(rt: Any) -> Callable[[], Any]:
+    """Memoized utilization report, recomputed when the clock moves."""
+    cache: Dict[float, Any] = {}
+
+    def get() -> Optional[Any]:
+        if rt.engine.now <= 0:
+            return None
+        t = rt.engine.now
+        if t not in cache:
+            from repro.harness.metrics import utilization  # lazy: layering
+
+            cache.clear()
+            cache[t] = utilization(rt)
+        return cache[t]
+
+    return get
+
+
+def registry_from_runtime(rt: Any) -> MetricsRegistry:
+    """Register every counter a :class:`RuntimeSystem` keeps.
+
+    Names follow ``component.metric`` (aggregated over instances) and
+    ``tram.<i>.<scheme>.metric`` per attached scheme instance.
+    """
+    reg = MetricsRegistry()
+    reg.gauge("run.total_time_ns", lambda: rt.engine.now, unit="ns",
+              help="simulated clock at snapshot time")
+
+    ws = [w.stats for w in rt.workers]
+    reg.counter("workers.tasks_executed",
+                lambda: sum(s.tasks_executed for s in ws), unit="tasks")
+    reg.counter("workers.messages_received",
+                lambda: sum(s.messages_received for s in ws), unit="messages")
+    reg.counter("workers.idle_transitions",
+                lambda: sum(s.idle_transitions for s in ws))
+    reg.gauge("workers.busy_ns_total",
+              lambda: sum(s.busy_ns for s in ws), unit="ns")
+    reg.gauge("workers.busy_ns_max",
+              lambda: max((s.busy_ns for s in ws), default=0.0), unit="ns")
+
+    cts = [p.commthread.stats for p in rt.processes if p.commthread is not None]
+    reg.counter("commthreads.out_messages",
+                lambda: sum(s.out_messages for s in cts), unit="messages")
+    reg.counter("commthreads.in_messages",
+                lambda: sum(s.in_messages for s in cts), unit="messages")
+    reg.gauge("commthreads.busy_ns_total",
+              lambda: sum(s.busy_ns for s in cts), unit="ns")
+    reg.gauge("commthreads.queue_wait_ns_total",
+              lambda: sum(s.queue_wait_ns for s in cts), unit="ns")
+
+    nics = [nic.stats for node in rt.nodes for nic in node.nics]
+    reg.counter("nics.tx_messages",
+                lambda: sum(s.tx_messages for s in nics), unit="messages")
+    reg.counter("nics.rx_messages",
+                lambda: sum(s.rx_messages for s in nics), unit="messages")
+    reg.counter("nics.tx_bytes", lambda: sum(s.tx_bytes for s in nics),
+                unit="bytes")
+    reg.counter("nics.rx_bytes", lambda: sum(s.rx_bytes for s in nics),
+                unit="bytes")
+    reg.gauge("nics.tx_queue_wait_ns_total",
+              lambda: sum(s.tx_queue_wait_ns for s in nics), unit="ns")
+    reg.gauge("nics.rx_queue_wait_ns_total",
+              lambda: sum(s.rx_queue_wait_ns for s in nics), unit="ns")
+
+    tstats = rt.transport.stats
+    for route in list(tstats.messages):
+        rname = route.value
+        reg.counter(f"transport.{rname}.messages",
+                    lambda r=route: tstats.messages[r], unit="messages")
+        reg.counter(f"transport.{rname}.bytes",
+                    lambda r=route: tstats.bytes[r], unit="bytes")
+
+    util = _utilization_reader(rt)
+    for fname in _UTIL_GAUGES:
+        unit = "ns" if fname.endswith("_ns") else "fraction"
+        reg.gauge(f"utilization.{fname}",
+                  lambda f=fname: getattr(util(), f, None)
+                  if util() is not None else None,
+                  unit=unit)
+    reg.gauge("utilization.bottleneck",
+              lambda: util().bottleneck() if util() is not None else None,
+              help="most-utilized component class")
+
+    for i, scheme in enumerate(getattr(rt, "schemes", ())):
+        prefix = f"tram.{i}.{scheme.name}"
+        stats = scheme.stats
+        for fname, unit in _TRAM_COUNTERS:
+            reg.counter(f"{prefix}.{fname}",
+                        lambda s=stats, f=fname: getattr(s, f), unit=unit)
+        reg.gauge(f"{prefix}.pending_items",
+                  lambda s=scheme: s.pending_items(), unit="items")
+        reg.gauge(f"{prefix}.latency_mean_ns",
+                  lambda s=stats: s.latency.mean, unit="ns")
+        stages = getattr(scheme, "stages", None)
+        if stages is not None:
+            for stage, hist in stages.hists.items():
+                reg.histogram(f"{prefix}.stage.{stage}",
+                              lambda h=hist: h, unit="ns",
+                              help="per-item latency attributed to this stage")
+    return reg

@@ -1,0 +1,80 @@
+"""Whole-run snapshot: one JSON-ready dict per completed run.
+
+This is the per-run record the harness embeds in ``--metrics-out``
+artifacts: machine shape, component aggregates, per-scheme stats and
+stage breakdowns, utilization with the bottleneck verdict, and the full
+metrics-registry dump.
+
+Imports from :mod:`repro.harness` happen lazily inside the function —
+``repro.obs`` sits below the harness in the layering (the runtime
+imports it), so a module-level import would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import registry_from_runtime
+
+
+def _machine_dict(machine: Any) -> dict:
+    return {
+        "nodes": machine.nodes,
+        "processes_per_node": machine.processes_per_node,
+        "workers_per_process": machine.workers_per_process,
+        "total_workers": machine.total_workers,
+        "smp": machine.smp,
+    }
+
+
+def _scheme_dict(index: int, scheme: Any) -> dict:
+    lat = scheme.stats.latency
+    stages = getattr(scheme, "stages", None)
+    entry: Dict[str, Any] = {
+        "index": index,
+        "name": scheme.name,
+        "stats": scheme.stats.summary(),
+        "latency": {
+            "count": lat.count,
+            "total_ns": lat.total,
+            "mean_ns": lat.mean,
+            "min_ns": lat.min if lat.count else 0.0,
+            "max_ns": lat.max,
+        },
+        "stages": stages.to_dict() if stages is not None else None,
+    }
+    if stages is not None:
+        entry["stage_latency_total_ns"] = stages.total_ns()
+    return entry
+
+
+def _utilization_dict(rt: Any) -> Optional[dict]:
+    from repro.harness.metrics import utilization  # lazy: layering
+
+    if rt.engine.now <= 0:
+        return None
+    report = utilization(rt)
+    out = report.to_dict()
+    out["bottleneck"] = report.bottleneck()
+    return out
+
+
+def run_snapshot(rt: Any) -> dict:
+    """Summarize a finished :class:`~repro.runtime.system.RuntimeSystem`."""
+    transport = rt.transport.stats
+    return {
+        "machine": _machine_dict(rt.machine),
+        "total_time_ns": rt.engine.now,
+        "transport": {
+            route.value: {
+                "messages": transport.messages[route],
+                "bytes": transport.bytes[route],
+            }
+            for route in transport.messages
+        },
+        "schemes": [
+            _scheme_dict(i, s) for i, s in enumerate(getattr(rt, "schemes", ()))
+        ],
+        "utilization": _utilization_dict(rt),
+        "metrics": registry_from_runtime(rt).to_json(),
+    }

@@ -56,14 +56,24 @@ class CommThread:
         #: Installed by the transport: next hop after send-side service.
         self.on_outbound_done: Optional[Callable[[NetMessage], None]] = None
 
-    def _serve(self, size_bytes: int) -> float:
+    def _serve(self, msg: NetMessage, hop: str) -> float:
         """Book one message through the FIFO server; return finish time."""
         now = self.rt.engine.now
-        service = self.rt.costs.comm_service_ns(size_bytes)
+        service = self.rt.costs.comm_service_ns(msg.size_bytes)
         start = self._free if self._free > now else now
         self.stats.queue_wait_ns += start - now
         self._free = start + service
         self.stats.busy_ns += service
+        span = msg.span
+        if span is not None:
+            span.ct_queue_ns += start - now
+            span.ct_service_ns += service
+        tracer = self.rt.engine.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.record(
+                "msg", hop=hop, pid=self.pid, msg_id=msg.msg_id,
+                start=start, dur=service,
+            )
         return self._free
 
     def submit_outbound(self, msg: NetMessage) -> None:
@@ -71,13 +81,13 @@ class CommThread:
         if self.on_outbound_done is None:
             raise SimulationError(f"comm thread {self.pid}: no outbound hop installed")
         self.stats.out_messages += 1
-        done = self._serve(msg.size_bytes)
+        done = self._serve(msg, "ct_out")
         self.rt.engine.at(done, self.on_outbound_done, msg)
 
     def submit_inbound(self, msg: NetMessage) -> None:
         """A message arrived for this process; deliver after service."""
         self.stats.in_messages += 1
-        done = self._serve(msg.size_bytes)
+        done = self._serve(msg, "ct_in")
         self.rt.engine.at(done, self._deliver, msg)
 
     def _deliver(self, msg: NetMessage) -> None:

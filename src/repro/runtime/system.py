@@ -17,13 +17,14 @@ a finished run drains naturally.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError, DeliveryError
 from repro.machine.costs import CostModel
 from repro.machine.topology import MachineConfig
 from repro.network.fabric import Fabric
 from repro.network.nic import Nic
+from repro.obs.config import ObsConfig, active_session
 from repro.runtime.commthread import CommThread
 from repro.runtime.node import Node
 from repro.runtime.proc import Process
@@ -47,6 +48,11 @@ class RuntimeSystem:
         Root seed for all named RNG streams.
     tracer:
         Optional tracer threaded into the engine.
+    obs:
+        Optional :class:`~repro.obs.config.ObsConfig` enabling
+        stage-attributed latency spans. Defaults to the config of the
+        active :class:`~repro.obs.config.ObsSession`, if any; otherwise
+        instrumentation is off.
     """
 
     def __init__(
@@ -55,7 +61,18 @@ class RuntimeSystem:
         costs: Optional[CostModel] = None,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
+        session = active_session()
+        if obs is None and session is not None:
+            obs = session.config
+        self.obs = obs
+        #: Whether schemes should attach spans / stage histograms.
+        self.obs_enabled = obs is not None and obs.enabled
+        self._obs_session = session if self.obs_enabled else None
+        #: Scheme instances attached to this runtime (self-registered by
+        #: SchemeBase; drives per-scheme metrics and snapshots).
+        self.schemes: List[Any] = []
         self.machine = machine
         self.costs = costs if costs is not None else CostModel()
         self.engine = Engine(tracer=tracer)
@@ -151,7 +168,10 @@ class RuntimeSystem:
         self, *, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> RunStats:
         """Run the engine (to quiescence by default)."""
-        return self.engine.run(until=until, max_events=max_events)
+        stats = self.engine.run(until=until, max_events=max_events)
+        if self._obs_session is not None:
+            self._obs_session.update(self, stats)
+        return stats
 
     @property
     def now(self) -> float:

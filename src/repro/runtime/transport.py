@@ -72,6 +72,13 @@ class Transport:
             raise DeliveryError(f"bad destination process {msg.dst_process}")
         route = self._classify(src_process, msg.dst_process)
         self.stats.record(route, msg.size_bytes)
+        tracer = rt.engine.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.record(
+                "msg", hop="send", wid=msg.src_worker, msg_id=msg.msg_id,
+                t=rt.engine.now, dst_process=msg.dst_process,
+                size=msg.size_bytes, route=route.value,
+            )
 
         if route is Route.INTRA_PROCESS:
             self._deliver_local(msg)
@@ -120,6 +127,8 @@ class Transport:
         if src_node == dst_node:
             # Intra-node inter-process: cheap shared-memory transport,
             # no NIC involvement.
+            if msg.span is not None:
+                msg.span.wire_ns += rt.costs.alpha_intra_ns
             rt.engine.after(
                 rt.costs.alpha_intra_ns, self._arrive_at_process, msg
             )

@@ -92,6 +92,15 @@ class Worker:
         non-SMP mode where the worker pays its own receive progress cost.
         """
         self.stats.messages_received += 1
+        span = msg.span
+        if span is not None:
+            span.pe_arrival = self.rt.engine.now
+        tracer = self.rt.engine.tracer
+        if tracer is not None and tracer.wants("msg"):
+            tracer.record(
+                "msg", hop="recv", wid=self.wid, msg_id=msg.msg_id,
+                t=self.rt.engine.now,
+            )
         handler = self.rt.handler_for(msg.kind)
         self.post_task(
             self._run_message_handler,

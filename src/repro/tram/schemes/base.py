@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.network.message import NetMessage
+from repro.obs.spans import MsgSpan, StageLatency
 from repro.tram.buffer import CountBuffer, ItemBuffer, proportional_take
 from repro.tram.config import TramConfig
 from repro.tram.item import BulkBatch, Item, ItemBatch
@@ -78,8 +79,18 @@ class SchemeBase:
         self.deliver_item = deliver_item
         self.deliver_bulk = deliver_bulk
         self.stats = TramStats(
-            latency=LatencyAggregate(config.latency_sample, seed=rt.rng.root_seed)
+            latency=LatencyAggregate(
+                config.latency_sample,
+                seed=rt.rng.root_seed,
+                histogram=rt.obs_enabled,
+            )
         )
+        #: Per-stage latency histograms; ``None`` when observability is
+        #: off (the hot path then only pays ``is None`` checks).
+        self.stages: Optional[StageLatency] = (
+            StageLatency() if rt.obs_enabled else None
+        )
+        rt.schemes.append(self)
         self._t = rt.machine.workers_per_process
         #: Allocated buffer bytes per owner (worker id, or ("p", pid) for
         #: shared process buffers) — drives the cache-footprint penalty.
@@ -113,7 +124,9 @@ class SchemeBase:
         if self.config.bypass_local and machine.same_process(src, dst):
             self.stats.items_bypassed_local += 1
             ctx.charge(self.rt.costs.local_msg_ns)
-            ctx.emit(self._post, dst, self._section_items_task, [item])
+            # ctx.now == item.created, so with observability on the whole
+            # bypass latency lands in the local_delivery stage.
+            ctx.emit(self._post, dst, self._section_items_task, [item], ctx.now)
             return
         self._insert_item(ctx, src, item)
 
@@ -154,6 +167,7 @@ class SchemeBase:
                         np.array([n]),
                         n * now,
                         now,
+                        now,  # t0: bypass latency -> local_delivery stage
                     )
                 self.stats.items_bypassed_local += n_local
                 counts[lo:hi] = 0
@@ -275,7 +289,7 @@ class SchemeBase:
     ) -> None:
         """Package a batch and release it at task completion."""
         costs = self.rt.costs
-        self._prepare_payload(ctx, payload, count)
+        group_ns = self._prepare_payload(ctx, payload, count)
         size = costs.message_bytes(count, self.config.item_bytes)
         kind = self._ns + (".w" if dst_worker is not None else ".p")
         msg = NetMessage(
@@ -287,6 +301,8 @@ class SchemeBase:
             payload=payload,
             expedited=self.config.expedited,
         )
+        if self.stages is not None:
+            msg.span = MsgSpan(group_ns)
         ctx.charge(costs.pack_msg_ns)
         if not self.rt.machine.smp:
             ctx.charge(costs.nonsmp_send_service_ns(size))
@@ -297,8 +313,13 @@ class SchemeBase:
         self.stats.bytes_sent += size
         ctx.emit(self.rt.transport.send, msg)
 
-    def _prepare_payload(self, ctx, payload, count: int) -> None:
-        """Hook for source-side grouping (overridden by WsP)."""
+    def _prepare_payload(self, ctx, payload, count: int) -> float:
+        """Hook for source-side grouping (overridden by WsP).
+
+        Returns the grouping CPU nanoseconds charged, so the span can
+        attribute them to the ``src_group`` stage.
+        """
+        return 0.0
 
     # ==================================================================
     # Flush plumbing
@@ -349,12 +370,59 @@ class SchemeBase:
         """Emission target: queue a section task with the right lane."""
         self.rt.worker(wid).post_task(fn, *args, expedited=self.config.expedited)
 
+    def _obs_msg(self, ctx, msg: NetMessage, count: int, t_sum: float) -> None:
+        """Fold a terminal message's span into the stage histograms.
+
+        Called once per message, at the start of the handler that
+        consumes it. ``count``/``t_sum`` cover the items this handler is
+        responsible for (multi-hop schemes call this with only the
+        locally-delivered portion; forwarded items restart attribution
+        on the next leg's message).
+        """
+        span = msg.span
+        st = self.stages
+        if st is None or span is None or count <= 0:
+            return
+        sent = msg.send_time
+        group_ns = span.group_ns
+        if group_ns > 0.0:
+            st.record("src_group", group_ns, count)
+        buffered = sent - t_sum / count - group_ns
+        if buffered > 0.0:
+            st.record("src_buffer", buffered, count)
+        if span.ct_queue_ns > 0.0:
+            st.record("ct_queue", span.ct_queue_ns, count)
+        if span.ct_service_ns > 0.0:
+            st.record("ct_service", span.ct_service_ns, count)
+        if span.nic_tx_queue_ns > 0.0:
+            st.record("nic_tx_queue", span.nic_tx_queue_ns, count)
+        if span.wire_ns > 0.0:
+            st.record("wire", span.wire_ns, count)
+        if span.nic_rx_ns > 0.0:
+            st.record("nic_rx", span.nic_rx_ns, count)
+        # Whatever transit time the components did not claim (enqueue
+        # hops into PE queues) is local machinery.
+        residual = (span.pe_arrival - sent) - span.transit_ns()
+        if residual > 0.0:
+            st.record("local_delivery", residual, count)
+        queued = ctx.now - span.pe_arrival
+        if queued > 0.0:
+            st.record("dst_group", queued, count)
+
+    def _obs_items_msg(self, ctx, msg: NetMessage, items) -> None:
+        """Span attribution for an item-mode message (see `_obs_msg`)."""
+        if self.stages is not None:
+            self._obs_msg(ctx, msg, len(items), sum(it.created for it in items))
+
     def _on_worker_msg(self, ctx, msg: NetMessage) -> None:
         """Worker-addressed batch: everything is for this PE."""
         payload = msg.payload
         if isinstance(payload, ItemBatch):
+            self._obs_items_msg(ctx, msg, payload.items)
             self._deliver_items_here(ctx, payload.items)
         else:
+            if self.stages is not None:
+                self._obs_msg(ctx, msg, payload.count, payload.t_sum)
             src_ids, src_counts = self._src_breakdown(msg, payload)
             self._deliver_bulk_here(
                 ctx, payload.count, src_ids, src_counts, payload.t_sum, payload.t_min
@@ -366,6 +434,7 @@ class SchemeBase:
         costs = self.rt.costs
         me = ctx.worker.wid
         if isinstance(payload, ItemBatch):
+            self._obs_items_msg(ctx, msg, payload.items)
             if payload.grouped:
                 ctx.charge(costs.group_elem_ns * self._t)
                 sections = payload.sections
@@ -382,10 +451,14 @@ class SchemeBase:
                 else:
                     ctx.charge(costs.local_msg_ns)
                     self.stats.local_sections += 1
-                    ctx.emit(self._post, dst, self._section_items_task, items)
+                    ctx.emit(
+                        self._post, dst, self._section_items_task, items, ctx.now
+                    )
             return
 
     # -- bulk process-addressed ----------------------------------------
+        if self.stages is not None:
+            self._obs_msg(ctx, msg, payload.count, payload.t_sum)
         if payload.grouped:
             ctx.charge(costs.group_elem_ns * self._t)
         else:
@@ -419,6 +492,7 @@ class SchemeBase:
                     section_src,
                     n * mean_t,
                     payload.t_min,
+                    ctx.now,
                 )
 
     def _src_breakdown(self, msg: NetMessage, payload: BulkBatch):
@@ -430,10 +504,14 @@ class SchemeBase:
         )
 
     # -- final delivery -------------------------------------------------
-    def _section_items_task(self, ctx, items) -> None:
-        self._deliver_items_here(ctx, items)
+    # ``t0`` is the simulated time a within-process section send (or
+    # local bypass) left the grouping/inserting PE; with observability
+    # on, the gap until the section task starts is attributed to the
+    # ``local_delivery`` stage. ``None`` means "delivered in place".
+    def _section_items_task(self, ctx, items, t0: Optional[float] = None) -> None:
+        self._deliver_items_here(ctx, items, t0)
 
-    def _deliver_items_here(self, ctx, items) -> None:
+    def _deliver_items_here(self, ctx, items, t0: Optional[float] = None) -> None:
         costs = self.rt.costs
         now = ctx.now
         ctx.charge(costs.handler_ns * len(items))
@@ -444,22 +522,34 @@ class SchemeBase:
                 f"{self.name}: per-item insert used without deliver_item callback"
             )
         self.stats.items_delivered += len(items)
+        st = self.stages
+        if st is not None:
+            if t0 is not None and now > t0:
+                st.record("local_delivery", now - t0, len(items))
+            st.record("handler", costs.handler_ns, len(items))
         for item in items:
             latency.record(now - item.created)
             deliver(ctx, item)
 
     def _section_bulk_task(
-        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float
+        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float,
+        t0: Optional[float] = None,
     ) -> None:
-        self._deliver_bulk_here(ctx, count, src_ids, src_counts, t_sum, t_min)
+        self._deliver_bulk_here(ctx, count, src_ids, src_counts, t_sum, t_min, t0)
 
     def _deliver_bulk_here(
-        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float
+        self, ctx, count: int, src_ids, src_counts, t_sum: float, t_min: float,
+        t0: Optional[float] = None,
     ) -> None:
         costs = self.rt.costs
         ctx.charge(costs.handler_ns * count)
         self.stats.items_delivered += count
         self.stats.latency.record_bulk(count, t_sum, t_min, ctx.now)
+        st = self.stages
+        if st is not None:
+            if t0 is not None and ctx.now > t0:
+                st.record("local_delivery", ctx.now - t0, count)
+            st.record("handler", costs.handler_ns, count)
         deliver = self.deliver_bulk
         if deliver is None:
             raise ConfigError(

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.network.message import NetMessage
+from repro.obs.spans import MsgSpan
 from repro.tram.buffer import proportional_take
 from repro.tram.item import BulkBatch, Item, ItemBatch
 from repro.tram.schemes.base import Buffer, SchemeBase
@@ -135,6 +136,8 @@ class WNsScheme(SchemeBase):
             payload=payload,
             expedited=self.config.expedited,
         )
+        if self.stages is not None:
+            msg.span = MsgSpan()
         ctx.charge(costs.pack_msg_ns)
         if not self.rt.machine.smp:
             ctx.charge(costs.nonsmp_send_service_ns(size))
@@ -164,6 +167,11 @@ class WNsScheme(SchemeBase):
                 by_process.setdefault(
                     machine.process_of_worker(item.dst), []
                 ).append(item)
+            if self.stages is not None:
+                # Attribute the span to the locally delivered portion
+                # only; forwarded items restart attribution on the
+                # intra-node leg's fresh span.
+                self._obs_items_msg(ctx, msg, by_process.get(me_process, ()))
             for pid, items in by_process.items():
                 if pid == me_process:
                     self._dispatch_local_sections(ctx, items)
@@ -201,6 +209,8 @@ class WNsScheme(SchemeBase):
                 grouped=True,
             )
             if pid == me_process:
+                if self.stages is not None:
+                    self._obs_msg(ctx, msg, sub.count, sub.t_sum)
                 self._dispatch_local_bulk(ctx, sub)
             else:
                 self._forward_bulk(ctx, pid, sub)
@@ -217,7 +227,9 @@ class WNsScheme(SchemeBase):
             else:
                 ctx.charge(self.rt.costs.local_msg_ns)
                 self.stats.local_sections += 1
-                ctx.emit(self._post, dst, self._section_items_task, section)
+                ctx.emit(
+                    self._post, dst, self._section_items_task, section, ctx.now
+                )
 
     def _dispatch_local_bulk(self, ctx, sub: BulkBatch) -> None:
         me = ctx.worker.wid
@@ -240,6 +252,7 @@ class WNsScheme(SchemeBase):
                 ctx.emit(
                     self._post, dst, self._section_bulk_task,
                     n, sub.src_ids, section_src, n * mean_t, sub.t_min,
+                    ctx.now,
                 )
 
     # -- forwarding to sibling processes on the node ---------------------
@@ -266,6 +279,10 @@ class WNsScheme(SchemeBase):
             payload=payload,
             expedited=self.config.expedited,
         )
+        if self.stages is not None:
+            # Fresh span: the forwarded leg restarts attribution, so
+            # time up to this hop lands in the next leg's src_buffer.
+            msg.span = MsgSpan()
         ctx.charge(costs.pack_msg_ns)
         self.stats.bytes_sent += size
         self.stats.messages_forwarded += 1

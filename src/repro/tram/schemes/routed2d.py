@@ -137,6 +137,7 @@ class Routed2DScheme(SchemeBase):
             self.rt.engine.cancel(buf.timer_event)
             buf.timer_event = None
         from repro.network.message import NetMessage
+        from repro.obs.spans import MsgSpan
 
         costs = self.rt.costs
         size = costs.message_bytes(len(items), self.config.item_bytes)
@@ -149,6 +150,11 @@ class Routed2DScheme(SchemeBase):
             payload=ItemBatch(items),
             expedited=self.config.expedited,
         )
+        if self.stages is not None:
+            # Fresh per-hop span: an intermediate attributes only the
+            # items it delivers; re-buffered items restart on the next
+            # hop's message (earlier legs land in its src_buffer).
+            msg.span = MsgSpan()
         ctx.charge(costs.pack_msg_ns)
         if not self.rt.machine.smp:
             ctx.charge(costs.nonsmp_send_service_ns(size))
@@ -189,6 +195,12 @@ class Routed2DScheme(SchemeBase):
                         full=True, forwarded=True,
                     )
 
+        if self.stages is not None:
+            local_items = [
+                it for section in local_by_dst.values() for it in section
+            ]
+            self._obs_items_msg(ctx, msg, local_items)
+
         me = ctx.worker.wid
         for dst, section in local_by_dst.items():
             if dst == me:
@@ -196,7 +208,9 @@ class Routed2DScheme(SchemeBase):
             else:
                 ctx.charge(costs.local_msg_ns)
                 self.stats.local_sections += 1
-                ctx.emit(self._post, dst, self._section_items_task, section)
+                ctx.emit(
+                    self._post, dst, self._section_items_task, section, ctx.now
+                )
 
     # ------------------------------------------------------------------
     # Flush plumbing

@@ -21,10 +21,14 @@ class WsPScheme(WPsScheme):
 
     name = "WsP"
 
-    def _prepare_payload(self, ctx, payload, count: int) -> None:
-        """Group the outgoing batch by destination PE at the source."""
+    def _prepare_payload(self, ctx, payload, count: int) -> float:
+        """Group the outgoing batch by destination PE at the source.
+
+        Returns the grouping nanoseconds charged (span ``src_group``).
+        """
         costs = self.rt.costs
-        ctx.charge(costs.group_cost_ns(count, self._t))
+        group_ns = costs.group_cost_ns(count, self._t)
+        ctx.charge(group_ns)
         self.stats.group_elements += count + self._t
         if isinstance(payload, ItemBatch):
             by_dst = defaultdict(list)
@@ -36,3 +40,4 @@ class WsPScheme(WPsScheme):
             # Count buffers already hold per-destination marginals; the
             # flag tells the receiver the grouping work was paid here.
             payload.grouped = True
+        return group_ns

@@ -2,8 +2,10 @@
 
 **Overhead** shows up as message/byte counts and the simulated run time;
 **latency** is tracked per delivered item — exactly (mean/min/max via
-moments) plus optionally a deterministic reservoir sample for
-percentiles.
+moments) plus optionally percentiles from one of two backends: a
+deterministic reservoir sample (``sample_size > 0``) or a fixed-bucket
+log2 histogram (``histogram=True``; constant memory, no RNG — what the
+observability layer uses).
 """
 
 from __future__ import annotations
@@ -13,13 +15,31 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.hist import Log2Histogram
+
 
 class LatencyAggregate:
-    """Exact moments + optional reservoir sample of item latencies."""
+    """Exact moments + an optional percentile backend.
 
-    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng", "_seen")
+    Parameters
+    ----------
+    sample_size:
+        Reservoir capacity; 0 disables the reservoir backend.
+    seed:
+        Reservoir RNG seed (deterministic replacement).
+    histogram:
+        Use a :class:`~repro.obs.hist.Log2Histogram` backend instead.
+        Ignored when a reservoir is configured (the reservoir gives
+        finer percentiles; the histogram never allocates per-sample).
+    """
 
-    def __init__(self, sample_size: int = 0, seed: int = 0) -> None:
+    __slots__ = (
+        "count", "total", "min", "max", "_reservoir", "_rng", "_seen", "_hist"
+    )
+
+    def __init__(
+        self, sample_size: int = 0, seed: int = 0, histogram: bool = False
+    ) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
@@ -29,6 +49,9 @@ class LatencyAggregate:
         )
         self._rng = np.random.default_rng(seed) if sample_size else None
         self._seen = 0
+        self._hist = (
+            Log2Histogram() if histogram and not sample_size else None
+        )
 
     def record(self, latency_ns: float, weight: int = 1) -> None:
         """Record ``weight`` items with the given (mean) latency."""
@@ -40,6 +63,8 @@ class LatencyAggregate:
             self.max = latency_ns
         if self._reservoir is not None:
             self._sample(latency_ns, weight)
+        elif self._hist is not None:
+            self._hist.record(latency_ns, weight)
 
     def record_bulk(self, count: int, t_sum: float, t_min: float, now: float) -> None:
         """Record a bulk delivery from timestamp moments.
@@ -59,6 +84,8 @@ class LatencyAggregate:
             self.max = oldest
         if self._reservoir is not None:
             self._sample(mean, count)
+        elif self._hist is not None:
+            self._hist.record(mean, count)
 
     def _sample(self, value: float, weight: int) -> None:
         res = self._reservoir
@@ -78,11 +105,13 @@ class LatencyAggregate:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> Optional[float]:
-        """Approximate percentile from the reservoir (None if disabled)."""
-        if self._reservoir is None or self._seen == 0:
-            return None
-        filled = self._reservoir[: min(self._seen, len(self._reservoir))]
-        return float(np.percentile(filled, q))
+        """Approximate percentile from the active backend (None if none)."""
+        if self._reservoir is not None and self._seen:
+            filled = self._reservoir[: min(self._seen, len(self._reservoir))]
+            return float(np.percentile(filled, q))
+        if self._hist is not None:
+            return self._hist.percentile(q)
+        return None
 
 
 @dataclass
@@ -130,11 +159,14 @@ class TramStats:
         return {
             "items_inserted": self.items_inserted,
             "items_delivered": self.items_delivered,
+            "items_bypassed_local": self.items_bypassed_local,
+            "pending_items": self.pending_items,
             "messages_sent": self.messages_sent,
             "messages_full": self.messages_full,
             "messages_flush": self.messages_flush,
             "bytes_sent": self.bytes_sent,
             "mean_latency_ns": self.latency.mean,
+            "min_latency_ns": self.latency.min if self.latency.count else 0.0,
             "max_latency_ns": self.latency.max if self.latency.count else 0.0,
             "atomic_inserts": self.atomic_inserts,
             "group_elements": self.group_elements,

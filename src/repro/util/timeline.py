@@ -1,24 +1,30 @@
 """Export simulation traces to the Chrome trace-event format.
 
 Load the produced JSON in ``chrome://tracing`` / Perfetto to inspect a
-run visually: one row per worker PE with its task executions. Intended
-for debugging small runs (tracing is off by default — it is on the
-simulator's hot path).
+run visually: one row per worker PE with its task executions, plus —
+when the ``"msg"`` category is captured — the transport hops of every
+network message (comm-thread service, NIC serialization) connected by
+flow arrows from send to receive. Intended for debugging small runs
+(tracing is off by default — it is on the simulator's hot path).
 
 Usage::
 
-    tracer = Tracer(categories=["task"])
+    tracer = Tracer(categories=["task", "msg"])
     rt = RuntimeSystem(machine, tracer=tracer)
     attach_task_tracing(rt, tracer)
     ... run ...
     write_chrome_trace(tracer, "run.json")
+
+Row layout: pid 0 = worker task execution, pid 1 = transport machinery
+(comm threads on their process id, NICs on ``1000 + node``), pid 2 =
+per-worker message endpoints (send release / receive enqueue markers).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, List, Union
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
 from repro.sim.trace import Tracer
 
@@ -64,12 +70,106 @@ def chrome_trace_events(tracer: Tracer) -> List[dict]:
     return events
 
 
+#: Canonical hop order along a message's path (send side -> receive side).
+_FLOW_ORDER = {
+    "send": 0,
+    "ct_out": 1,
+    "nic_tx": 2,
+    "nic_rx": 3,
+    "ct_in": 4,
+    "recv": 5,
+}
+
+#: Visual width of the instantaneous send/recv endpoint markers (ns).
+_ENDPOINT_DUR_NS = 50.0
+
+
+def flow_trace_events(tracer: Tracer) -> List[dict]:
+    """Convert captured ``msg`` records to hop slices + flow arrows.
+
+    Each transport hop becomes an ``X`` slice (comm-thread service and
+    NIC serialization at their true simulated extent; send/recv as thin
+    endpoint markers), and every message with at least two captured hops
+    gets a Chrome flow (``s``/``t``/``f`` events sharing ``id``) so
+    Perfetto draws arrows linking send -> comm thread -> NIC -> recv.
+    """
+    events: List[dict] = []
+    per_msg: Dict[int, List[Tuple[int, float, int, int]]] = {}
+    for _, f in tracer.records("msg"):
+        hop = f["hop"]
+        if hop in ("send", "recv"):
+            ts, dur = f["t"], _ENDPOINT_DUR_NS
+            pid, tid = 2, f["wid"]
+        else:
+            ts, dur = f["start"], max(f["dur"], 1.0)
+            pid = 1
+            tid = f["pid"] if hop in ("ct_out", "ct_in") else 1000 + f["node"]
+        event = {
+            "name": hop,
+            "cat": "msg",
+            "ph": "X",
+            "ts": ts / 1e3,
+            "dur": dur / 1e3,
+            "pid": pid,
+            "tid": tid,
+            "args": {"msg_id": f["msg_id"]},
+        }
+        if hop == "send":
+            event["args"].update(
+                dst_process=f.get("dst_process"),
+                size=f.get("size"),
+                route=f.get("route"),
+            )
+        events.append(event)
+        per_msg.setdefault(f["msg_id"], []).append(
+            (_FLOW_ORDER.get(hop, len(_FLOW_ORDER)), ts, pid, tid)
+        )
+
+    for msg_id, hops in per_msg.items():
+        if len(hops) < 2:
+            continue  # nothing to link
+        hops.sort()
+        last = len(hops) - 1
+        for i, (_, ts, pid, tid) in enumerate(hops):
+            phase = "s" if i == 0 else ("f" if i == last else "t")
+            flow = {
+                "name": "msgflow",
+                "cat": "msgflow",
+                "ph": phase,
+                "id": msg_id,
+                "ts": ts / 1e3,
+                "pid": pid,
+                "tid": tid,
+            }
+            if phase == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
+    return events
+
+
+def _metadata_events(events: List[dict]) -> List[dict]:
+    """Process-name metadata rows for the pids actually present."""
+    names = {0: "workers (tasks)", 1: "transport (comm threads / NICs)",
+             2: "message endpoints"}
+    present = sorted({e["pid"] for e in events})
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": names.get(pid, f"pid {pid}")},
+        }
+        for pid in present
+    ]
+
+
 def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> int:
-    """Write the captured task trace as Chrome trace JSON.
+    """Write the captured trace (tasks + message flows) as Chrome JSON.
 
     Returns the number of events written.
     """
-    events = chrome_trace_events(tracer)
+    events = chrome_trace_events(tracer) + flow_trace_events(tracer)
+    events += _metadata_events(events)
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     Path(path).write_text(json.dumps(payload))
     return len(events)

@@ -64,3 +64,28 @@ class TestUtilization:
         out = rep.to_table()
         assert "comm threads" in out
         assert "%" in out
+
+    def test_table_headers_named(self):
+        rep = utilization(run_traffic(MachineConfig(2, 2, 2)))
+        header = rep.to_table().splitlines()[0]
+        assert "component" in header
+        assert "mean" in header
+        assert "max" in header
+
+    def test_table_includes_queue_waits(self):
+        rep = utilization(run_traffic(MachineConfig(2, 2, 2)))
+        out = rep.to_table()
+        assert "comm-thread queue wait" in out
+        assert "NIC queue wait" in out
+
+    def test_to_dict_round_trips_fields(self):
+        rep = utilization(run_traffic(MachineConfig(2, 2, 2)))
+        d = rep.to_dict()
+        assert d["total_time_ns"] == rep.total_time_ns
+        assert d["worker_mean"] == rep.worker_mean
+        assert d["commthread_queue_wait_ns"] == rep.commthread_queue_wait_ns
+        assert d["nic_queue_wait_ns"] == rep.nic_queue_wait_ns
+
+    def test_queue_waits_nonzero_under_load(self):
+        rep = utilization(run_traffic(MachineConfig(2, 1, 8), items=2000))
+        assert rep.commthread_queue_wait_ns > 0.0

@@ -1,0 +1,97 @@
+"""Tests for the fixed-bucket log2 latency histogram."""
+
+from repro.obs.hist import N_BUCKETS, Log2Histogram
+
+
+class TestRecording:
+    def test_exact_moments(self):
+        h = Log2Histogram()
+        for v in (10.0, 100.0, 1000.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 1110.0
+        assert h.mean == 370.0
+        assert h.min == 10.0
+        assert h.max == 1000.0
+
+    def test_weight_multiplies(self):
+        h = Log2Histogram()
+        h.record(50.0, weight=4)
+        assert h.count == 4
+        assert h.total == 200.0
+        assert h.mean == 50.0
+
+    def test_bucket_placement(self):
+        h = Log2Histogram()
+        h.record(0.0)      # bucket 0 (sub-ns)
+        h.record(0.5)      # bucket 0
+        h.record(1.0)      # bucket 1
+        h.record(3.0)      # bucket 2 ([2, 4))
+        assert h.counts[0] == 2
+        assert h.counts[1] == 1
+        assert h.counts[2] == 1
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        h = Log2Histogram()
+        h.record(2.0 ** 80)
+        assert h.counts[N_BUCKETS - 1] == 1
+
+    def test_empty_histogram(self):
+        h = Log2Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) is None
+        assert h.summary()["min_ns"] == 0.0
+
+
+class TestPercentiles:
+    def test_single_value_returns_it(self):
+        h = Log2Histogram()
+        h.record(300.0, weight=7)
+        # Upper bucket edge is 512, but clamping to [min, max] recovers
+        # the exact value when the histogram holds one distinct value.
+        assert h.percentile(50) == 300.0
+        assert h.percentile(99) == 300.0
+
+    def test_percentiles_monotone_and_bounded(self):
+        h = Log2Histogram()
+        for v in (10.0, 20.0, 500.0, 5000.0, 100000.0):
+            h.record(v)
+        ps = [h.percentile(q) for q in (10, 50, 90, 99)]
+        assert ps == sorted(ps)
+        for p in ps:
+            assert h.min <= p <= h.max
+
+    def test_p50_within_factor_two(self):
+        h = Log2Histogram()
+        for v in range(1, 101):
+            h.record(float(v))
+        p50 = h.percentile(50)
+        assert 25.0 <= p50 <= 100.0  # log2 bucket resolution around 50
+
+
+class TestMergeAndSummary:
+    def test_merge_equals_combined_recording(self):
+        a, b, both = Log2Histogram(), Log2Histogram(), Log2Histogram()
+        for v in (5.0, 600.0):
+            a.record(v)
+            both.record(v)
+        for v in (70.0, 8000.0):
+            b.record(v)
+            both.record(v)
+        a.merge(b)
+        assert a.counts == both.counts
+        assert a.count == both.count
+        assert a.total == both.total
+        assert a.min == both.min
+        assert a.max == both.max
+
+    def test_summary_keys(self):
+        h = Log2Histogram()
+        h.record(123.0, weight=3)
+        s = h.summary()
+        assert set(s) == {
+            "count", "total_ns", "mean_ns", "min_ns", "max_ns",
+            "p50_ns", "p90_ns", "p99_ns",
+        }
+        assert s["count"] == 3
+        assert s["mean_ns"] == 123.0

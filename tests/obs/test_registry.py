@@ -1,0 +1,124 @@
+"""Tests for the unified metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.metrics import utilization
+from repro.machine import MachineConfig
+from repro.obs import Log2Histogram, MetricsRegistry, registry_from_runtime
+from repro.obs.registry import REGISTRY_SCHEMA
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+
+class TestRegistryBasics:
+    def test_register_and_read(self):
+        reg = MetricsRegistry()
+        box = {"v": 0}
+        reg.counter("a.count", lambda: box["v"], unit="items")
+        box["v"] = 7
+        assert reg.snapshot()["a.count"] == 7  # readers are live
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("x", lambda: 1)
+        with pytest.raises(ConfigError):
+            reg.gauge("x", lambda: 2)
+
+    def test_unknown_kind_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.register("x", "weird", lambda: 1)
+
+    def test_names_sorted_and_membership(self):
+        reg = MetricsRegistry()
+        reg.counter("b", lambda: 0)
+        reg.counter("a", lambda: 0)
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg
+        assert "zzz" not in reg
+        assert len(reg) == 2
+
+    def test_histogram_resolves_to_summary(self):
+        reg = MetricsRegistry()
+        h = Log2Histogram()
+        h.record(64.0)
+        reg.histogram("lat", lambda: h, unit="ns")
+        value = reg.snapshot()["lat"]
+        assert value["count"] == 1
+        assert value["mean_ns"] == 64.0
+
+    def test_to_json_schema_and_metadata(self):
+        reg = MetricsRegistry()
+        reg.counter("n", lambda: 3, unit="items", help="how many")
+        doc = reg.to_json()
+        assert doc["schema"] == REGISTRY_SCHEMA
+        assert doc["metrics"]["n"] == {
+            "kind": "counter", "unit": "items", "help": "how many", "value": 3,
+        }
+
+
+def _small_run(machine=None):
+    rt = RuntimeSystem(machine or MachineConfig(2, 2, 2), seed=0)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=16),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = rt.machine.total_workers
+
+    def driver(ctx):
+        rng = rt.rng.stream(f"reg/{ctx.worker.wid}")
+        counts = np.bincount(rng.integers(0, W, 200), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver)
+    rt.run()
+    return rt, tram
+
+
+class TestRuntimeRegistry:
+    def test_component_namespaces_present(self):
+        rt, _ = _small_run()
+        reg = registry_from_runtime(rt)
+        names = reg.names()
+        for expected in (
+            "run.total_time_ns",
+            "workers.tasks_executed",
+            "commthreads.out_messages",
+            "nics.tx_messages",
+            "transport.inter_node.messages",
+            "utilization.bottleneck",
+            "tram.0.WPs.items_inserted",
+            "tram.0.WPs.pending_items",
+        ):
+            assert expected in names, expected
+
+    def test_values_match_components(self):
+        rt, tram = _small_run()
+        snap = registry_from_runtime(rt).snapshot()
+        assert snap["workers.tasks_executed"] == sum(
+            w.stats.tasks_executed for w in rt.workers
+        )
+        assert snap["tram.0.WPs.items_inserted"] == tram.stats.items_inserted
+        assert snap["run.total_time_ns"] == rt.engine.now
+
+    def test_bottleneck_matches_report(self):
+        rt, _ = _small_run()
+        snap = registry_from_runtime(rt).snapshot()
+        assert snap["utilization.bottleneck"] == utilization(rt).bottleneck()
+
+    def test_unrun_runtime_reports_no_utilization(self):
+        rt = RuntimeSystem(MachineConfig(1, 1, 2), seed=0)
+        snap = registry_from_runtime(rt).snapshot()
+        assert snap["utilization.bottleneck"] is None
+        assert snap["utilization.worker_mean"] is None
+
+    def test_registry_built_before_run_reads_final_values(self):
+        rt = RuntimeSystem(MachineConfig(1, 1, 2), seed=0)
+        reg = registry_from_runtime(rt)
+        rt.post(0, lambda ctx: ctx.charge(100.0))
+        rt.run()
+        assert reg.snapshot()["run.total_time_ns"] == rt.engine.now > 0

@@ -1,0 +1,79 @@
+"""Tests for the bounded in-memory Tracer."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestCapacity:
+    def test_evicts_oldest_first(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.record("cat", i=i)
+        kept = [f["i"] for _, f in tracer.records("cat")]
+        assert kept == [2, 3, 4]
+
+    def test_dropped_counts_evictions(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.record("cat", i=i)
+        assert tracer.dropped == 2
+        assert len(tracer) == 3
+
+    def test_no_drops_under_capacity(self):
+        tracer = Tracer(capacity=10)
+        for i in range(5):
+            tracer.record("cat", i=i)
+        assert tracer.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestFiltering:
+    def test_wants_respects_categories(self):
+        tracer = Tracer(categories=["task", "msg"])
+        assert tracer.wants("task")
+        assert tracer.wants("msg")
+        assert not tracer.wants("event")
+
+    def test_wants_everything_by_default(self):
+        tracer = Tracer()
+        assert tracer.wants("anything")
+
+    def test_unwanted_records_not_captured(self):
+        tracer = Tracer(categories=["task"])
+        tracer.record("msg", x=1)
+        tracer.record("task", x=2)
+        assert len(tracer) == 1
+        assert tracer.count("msg") == 0
+        assert tracer.count("task") == 1
+
+    def test_records_filter_by_category(self):
+        tracer = Tracer()
+        tracer.record("a", i=0)
+        tracer.record("b", i=1)
+        tracer.record("a", i=2)
+        assert [f["i"] for _, f in tracer.records("a")] == [0, 2]
+        assert len(tracer.records()) == 3
+
+
+class TestClear:
+    def test_clear_resets_records_and_dropped(self):
+        tracer = Tracer(capacity=2)
+        for i in range(4):
+            tracer.record("cat", i=i)
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.records() == []
+
+    def test_usable_after_clear(self):
+        tracer = Tracer(capacity=2)
+        tracer.record("cat", i=0)
+        tracer.clear()
+        tracer.record("cat", i=1)
+        assert [f["i"] for _, f in tracer.records("cat")] == [1]
+        assert tracer.dropped == 0

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.machine",
     "repro.network",
     "repro.runtime",
+    "repro.obs",
     "repro.tram",
     "repro.tram.schemes",
     "repro.analysis",

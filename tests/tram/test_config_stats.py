@@ -77,6 +77,18 @@ class TestLatencyAggregate:
         assert p50 is not None
         assert 10.0 < p50 < 90.0
 
+    def test_percentile_with_histogram_backend(self):
+        agg = LatencyAggregate(histogram=True)
+        agg.record(100.0, weight=5)
+        agg.record_bulk(count=5, t_sum=0.0, t_min=0.0, now=100.0)
+        assert agg.percentile(50) == pytest.approx(100.0)
+
+    def test_reservoir_wins_over_histogram(self):
+        agg = LatencyAggregate(sample_size=8, histogram=True)
+        agg.record(10.0)
+        assert agg._hist is None
+        assert agg.percentile(50) == pytest.approx(10.0)
+
 
 class TestTramStats:
     def test_messages_sent_sums_lanes(self):
@@ -96,9 +108,29 @@ class TestTramStats:
         summary = s.summary()
         for key in (
             "items_inserted",
+            "items_bypassed_local",
+            "pending_items",
             "messages_sent",
             "bytes_sent",
             "mean_latency_ns",
+            "min_latency_ns",
             "buffer_bytes_allocated",
         ):
             assert key in summary
+
+    def test_empty_summary_min_latency_finite(self):
+        # Empty aggregate keeps min == inf internally; the summary must
+        # not leak a non-JSON-serializable infinity.
+        summary = TramStats().summary()
+        assert summary["min_latency_ns"] == 0.0
+
+    def test_summary_reports_bypass_and_pending(self):
+        s = TramStats()
+        s.items_inserted = 10
+        s.items_delivered = 6
+        s.items_bypassed_local = 2
+        s.latency.record(40.0)
+        summary = s.summary()
+        assert summary["items_bypassed_local"] == 2
+        assert summary["pending_items"] == 4
+        assert summary["min_latency_ns"] == 40.0

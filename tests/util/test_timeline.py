@@ -11,6 +11,7 @@ from repro.tram import TramConfig, make_scheme
 from repro.util.timeline import (
     attach_task_tracing,
     chrome_trace_events,
+    flow_trace_events,
     write_chrome_trace,
 )
 
@@ -71,3 +72,97 @@ class TestTimeline:
         rt.post(0, lambda ctx: ctx.charge(10.0))
         rt.run()
         assert chrome_trace_events(tracer) == []
+
+
+@pytest.fixture
+def msg_traced_run():
+    tracer = Tracer(categories=["task", "msg"])
+    rt = RuntimeSystem(MachineConfig(2, 2, 2), seed=0, tracer=tracer)
+    attach_task_tracing(rt, tracer)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=4),
+        deliver_item=lambda ctx, it: None,
+    )
+
+    def driver(ctx):
+        for dst in range(8):
+            tram.insert(ctx, dst=dst)
+        tram.flush(ctx)
+
+    rt.post(0, driver)
+    rt.run()
+    return rt, tracer
+
+
+class TestMessageFlows:
+    def test_hop_slices_present(self, msg_traced_run):
+        _, tracer = msg_traced_run
+        slices = [e for e in flow_trace_events(tracer) if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        # WPs on an SMP machine exercises the whole path.
+        assert {"send", "ct_out", "nic_tx", "nic_rx", "ct_in",
+                "recv"} <= names
+
+    def test_slice_row_layout(self, msg_traced_run):
+        _, tracer = msg_traced_run
+        for ev in flow_trace_events(tracer):
+            if ev["ph"] != "X":
+                continue
+            if ev["name"] in ("send", "recv"):
+                assert ev["pid"] == 2
+            elif ev["name"] in ("ct_out", "ct_in"):
+                assert ev["pid"] == 1
+                assert ev["tid"] < 1000
+            else:  # nic_tx / nic_rx rows sit at 1000 + node
+                assert ev["pid"] == 1
+                assert ev["tid"] >= 1000
+
+    def test_flow_events_link_hops(self, msg_traced_run):
+        _, tracer = msg_traced_run
+        flows = [e for e in flow_trace_events(tracer)
+                 if e["ph"] in ("s", "t", "f")]
+        assert flows
+        by_id = {}
+        for ev in flows:
+            by_id.setdefault(ev["id"], []).append(ev)
+        for chain in by_id.values():
+            # exactly one start and one finish, monotone timestamps
+            assert [e["ph"] for e in chain].count("s") == 1
+            assert chain[-1]["ph"] == "f"
+            assert chain[-1]["bp"] == "e"
+            ts = [e["ts"] for e in chain]
+            assert ts == sorted(ts)
+
+    def test_flow_ids_match_message_slices(self, msg_traced_run):
+        _, tracer = msg_traced_run
+        events = flow_trace_events(tracer)
+        slice_ids = {e["args"]["msg_id"] for e in events if e["ph"] == "X"}
+        flow_ids = {e["id"] for e in events if e["ph"] == "s"}
+        assert flow_ids <= slice_ids
+
+    def test_send_args_describe_message(self, msg_traced_run):
+        _, tracer = msg_traced_run
+        sends = [e for e in flow_trace_events(tracer)
+                 if e["ph"] == "X" and e["name"] == "send"]
+        assert sends
+        for ev in sends:
+            assert ev["args"]["size"] > 0
+            assert ev["args"]["dst_process"] is not None
+
+    def test_write_includes_flows_and_metadata(self, msg_traced_run,
+                                               tmp_path):
+        _, tracer = msg_traced_run
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(tracer, path)
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert len(events) == n
+        phases = {e["ph"] for e in events}
+        assert {"X", "s", "f", "M"} <= phases
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e["ph"] == "M"}
+        assert set(meta) == {0, 1, 2}
+
+    def test_task_only_tracer_has_no_flows(self, traced_run):
+        _, tracer = traced_run
+        assert flow_trace_events(tracer) == []
