@@ -1,0 +1,98 @@
+"""Guard: disabled fault injection + reliability must stay off the hot path.
+
+The fault fabric and the reliable-delivery layer are both gated on a
+single ``is None`` check per message — a noop :class:`FaultPlan` is
+dropped at runtime construction and a ``ReliabilityConfig`` with
+``enabled=False`` never builds the delivery layer, so a run declared
+with disabled fault machinery must cost the same as one built with no
+fault arguments at all.  This bench times both interleaved and asserts
+the disabled-config run is within 5% of baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.faults import FaultPlan
+from repro.machine import MachineConfig
+from repro.runtime.reliability import ReliabilityConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2,
+                        workers_per_process=4)
+ROUNDS = 20
+ITEMS_PER_ROUND = 1000
+REPEATS = 5
+MAX_RATIO = 1.05
+
+
+def _run(faults, reliability):
+    rt = RuntimeSystem(MACHINE, seed=0, faults=faults, reliability=reliability)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=64),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx, remaining):
+        rng = rt.rng.stream(f"flt/{ctx.worker.wid}")
+        counts = np.bincount(
+            rng.integers(0, W, ITEMS_PER_ROUND), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        if remaining:
+            ctx.emit(ctx.worker.post_task, driver, remaining - 1)
+        else:
+            tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver, ROUNDS)
+    rt.run()
+    return rt, tram.stats.items_delivered
+
+
+def _time(faults, reliability):
+    start = time.perf_counter()
+    rt, delivered = _run(faults, reliability)
+    elapsed = time.perf_counter() - start
+    assert delivered == MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+    # Disabled machinery must reduce to the None fast path, not merely
+    # run quietly.
+    assert rt.faults is None
+    assert rt.reliable is None
+    return elapsed
+
+
+def test_disabled_faults_are_free():
+    # Interleave the two variants and take each one's best-of-N so a
+    # transient stall on either side cannot fake (or hide) a regression.
+    baseline, disabled = [], []
+    _time(None, None)  # warm imports / allocator before the timed repeats
+    for _ in range(REPEATS):
+        baseline.append(_time(None, None))
+        disabled.append(
+            _time(FaultPlan(), ReliabilityConfig(enabled=False))
+        )
+    ratio = min(disabled) / min(baseline)
+    assert ratio < MAX_RATIO, (
+        f"disabled fault injection costs {ratio:.3f}x baseline "
+        f"(limit {MAX_RATIO}x)"
+    )
+
+
+def test_enabled_faults_actually_interfere():
+    """Sanity: the same workload with faults *on* injects and repairs."""
+    # The timeout must sit above this congested workload's RTT, or
+    # spurious retransmits trip every channel's retry budget (see
+    # docs/robustness.md on tuning retransmit_timeout_ns).
+    rt, delivered = _run(
+        FaultPlan(drop=0.02, dup=0.005),
+        ReliabilityConfig(retransmit_timeout_ns=2_000_000.0),
+    )
+    assert delivered == MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+    assert rt.faults.stats.messages_dropped > 0
+    assert rt.reliable.stats.retransmits > 0
+    assert rt.reliable.stats.channels_degraded == 0
+    assert rt.reliable.pending_count() == 0

@@ -13,6 +13,9 @@ The package provides:
   WPs, WsP and PP aggregation schemes plus flush policies and stats;
 * :mod:`repro.obs` — stage-attributed latency spans, the metrics
   registry and per-run snapshots behind ``--metrics-out``;
+* :mod:`repro.faults` — seeded fault injection (message drop / dup /
+  corrupt / reorder, NIC degradation, comm-thread stalls) paired with
+  the runtime's ack/retransmit reliable-delivery layer;
 * :mod:`repro.analysis` — the paper's §III-C closed-form cost analysis;
 * :mod:`repro.apps` — PingAck, histogram, index-gather, SSSP and PHOLD;
 * :mod:`repro.harness` — per-figure experiment harness and CLI.
@@ -29,12 +32,15 @@ Quickstart
 from repro.errors import (
     ConfigError,
     DeliveryError,
+    FaultInjectionError,
     HarnessError,
     QuiescenceError,
     ReproError,
+    RetryExhaustedError,
     SchedulingError,
     SimulationError,
 )
+from repro.faults import FaultPlan, FaultSession, FaultWindow
 from repro.machine import (
     CostModel,
     MachineConfig,
@@ -44,7 +50,13 @@ from repro.machine import (
     small_test_machine,
 )
 from repro.obs import ObsConfig, ObsSession
-from repro.runtime import Chare, ExecContext, QDCounter, RuntimeSystem
+from repro.runtime import (
+    Chare,
+    ExecContext,
+    QDCounter,
+    ReliabilityConfig,
+    RuntimeSystem,
+)
 from repro.sim import MS, NS, SEC, US, Engine, RngStreams, Tracer, fmt_time
 
 __version__ = "1.0.0"
@@ -56,6 +68,10 @@ __all__ = [
     "DeliveryError",
     "Engine",
     "ExecContext",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSession",
+    "FaultWindow",
     "HarnessError",
     "MS",
     "MachineConfig",
@@ -64,7 +80,9 @@ __all__ = [
     "ObsSession",
     "QDCounter",
     "QuiescenceError",
+    "ReliabilityConfig",
     "ReproError",
+    "RetryExhaustedError",
     "RngStreams",
     "RuntimeSystem",
     "SEC",

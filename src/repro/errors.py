@@ -31,5 +31,24 @@ class QuiescenceError(SimulationError):
     """Quiescence accounting went negative or never completed."""
 
 
+class FaultInjectionError(ConfigError):
+    """A fault plan, window schedule or ``--faults`` spec was invalid.
+
+    Raised when constructing a :class:`repro.faults.FaultPlan` (negative
+    probabilities, inverted windows, unknown fault kinds) or when parsing
+    a declarative fault spec string.
+    """
+
+
+class RetryExhaustedError(DeliveryError):
+    """Reliable delivery gave up on a message after its retry budget.
+
+    Raised only when the reliability layer is configured with
+    ``degrade=False``; by default the runtime degrades the affected
+    destination to direct sends instead of raising (see
+    ``docs/robustness.md``).
+    """
+
+
 class HarnessError(ReproError):
     """An experiment or sweep was misconfigured or failed to run."""

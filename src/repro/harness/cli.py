@@ -66,6 +66,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "a directory with one <fig>.json per figure"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run figures under seeded fault injection + reliable "
+            "delivery; SPEC is comma-separated key=value pairs, e.g. "
+            "'drop=0.01,dup=0.005,corrupt=0.001,reorder=0.02'"
+        ),
+    )
     return parser
 
 
@@ -74,13 +84,15 @@ def _run_one(
     profile: str,
     out: Optional[Path],
     metrics_out: Optional[Path] = None,
+    faults: Optional[str] = None,
 ) -> None:
     t0 = time.perf_counter()
-    data = run_figure(fig_id, profile, metrics_path=metrics_out)
+    data = run_figure(fig_id, profile, metrics_path=metrics_out, faults=faults)
     elapsed = time.perf_counter() - t0
     report = data.render()
     print(report)
-    print(f"[{fig_id} regenerated in {elapsed:.1f}s wall]")
+    suffix = f" under faults '{faults}'" if faults else ""
+    print(f"[{fig_id} regenerated in {elapsed:.1f}s wall{suffix}]")
     if metrics_out is not None:
         print(f"[metrics artifact written to {metrics_out}]")
     print()
@@ -118,6 +130,15 @@ def _validate_metrics(path: Optional[Path]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "faults", None) is not None:
+        from repro.errors import FaultInjectionError
+        from repro.faults import FaultPlan
+
+        try:
+            FaultPlan.parse(args.faults)
+        except FaultInjectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.target == "list":
         width = max(len(k) for k in FIGURES)
         for fig_id, (_, desc) in FIGURES.items():
@@ -132,7 +153,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.metrics_out is not None
                 else None
             )
-            _run_one(fig_id, args.profile, args.out, metrics_out)
+            _run_one(fig_id, args.profile, args.out, metrics_out, args.faults)
         return 0
     if args.target == "validate":
         from repro.harness.validate import render_results, validate_reproduction
@@ -158,7 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    _run_one(args.target, args.profile, args.out, args.metrics_out)
+    _run_one(args.target, args.profile, args.out, args.metrics_out, args.faults)
     return 0
 
 

@@ -590,7 +590,7 @@ FIGURES: Dict[str, Tuple[Callable[[str], FigureData], str]] = {
 
 
 def run_figure(
-    fig_id: str, profile: str = "paper", metrics_path=None
+    fig_id: str, profile: str = "paper", metrics_path=None, faults=None
 ) -> FigureData:
     """Run one registered experiment by id.
 
@@ -598,6 +598,12 @@ def run_figure(
     :class:`~repro.obs.config.ObsSession` (stage-attributed latency
     spans on) and a schema-versioned JSON artifact with one snapshot per
     simulation run is written there (see :mod:`repro.harness.artifact`).
+
+    With ``faults`` set (a :class:`~repro.faults.FaultPlan` or a spec
+    string for :meth:`~repro.faults.FaultPlan.parse`), the figure body
+    runs inside a :class:`~repro.faults.FaultSession`: every simulation
+    gets seeded fault injection plus the reliable-delivery layer, so the
+    figure exercises the degraded data path end to end.
     """
     try:
         fn, _ = FIGURES[fig_id]
@@ -605,23 +611,51 @@ def run_figure(
         raise HarnessError(
             f"unknown figure {fig_id!r}; known: {', '.join(FIGURES)}"
         ) from None
-    if metrics_path is None:
+    plan = None
+    if faults is not None:
+        from repro.faults import FaultPlan
+
+        plan = faults if isinstance(faults, FaultPlan) else FaultPlan.parse(faults)
+        if plan.is_noop():
+            plan = None
+    if metrics_path is None and plan is None:
         return fn(profile)
 
-    from repro.harness.artifact import build_metrics_payload, write_metrics_json
-    from repro.obs import ObsConfig, ObsSession
+    from contextlib import ExitStack
 
     # The shared sweeps memoize results; a cached hit would run no
-    # simulations inside the session and yield an empty artifact.
+    # simulations inside the session (empty artifact / no faults
+    # applied), and a result computed under faults must not leak into
+    # later fault-free invocations.
     _ig_sweep.cache_clear()
     _sssp_sweep.cache_clear()
-    with ObsSession(ObsConfig()) as session:
-        data = fn(profile)
-    payload = build_metrics_payload(
-        target=fig_id,
-        profile=profile,
-        runs=session.records,
-        figure=data,
-    )
-    write_metrics_json(metrics_path, payload)
+    session = None
+    try:
+        with ExitStack() as stack:
+            if plan is not None:
+                from repro.faults import FaultSession
+
+                stack.enter_context(FaultSession(plan))
+            if metrics_path is not None:
+                from repro.obs import ObsConfig, ObsSession
+
+                session = stack.enter_context(ObsSession(ObsConfig()))
+            data = fn(profile)
+    finally:
+        if plan is not None:
+            _ig_sweep.cache_clear()
+            _sssp_sweep.cache_clear()
+    if metrics_path is not None:
+        from dataclasses import asdict
+
+        from repro.harness.artifact import build_metrics_payload, write_metrics_json
+
+        payload = build_metrics_payload(
+            target=fig_id,
+            profile=profile,
+            runs=session.records,
+            figure=data,
+            extra_config={"faults": asdict(plan)} if plan is not None else None,
+        )
+        write_metrics_json(metrics_path, payload)
     return data

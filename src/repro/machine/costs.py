@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 
@@ -38,6 +39,10 @@ class CostModel:
     nic_msg_ns:
         Per-message NIC injection occupancy; together with
         ``beta_ns_per_byte`` this serializes a node's outgoing traffic.
+    rx_nic_msg_ns / rx_beta_ns_per_byte:
+        Receive-side occupancy constants. ``None`` (the default) mirrors
+        the tx constants, so symmetric NICs need no extra configuration;
+        set them to model asymmetric rx serialization.
 
     Communication thread (SMP mode)
     -------------------------------
@@ -101,6 +106,8 @@ class CostModel:
     alpha_intra_ns: float = 700.0
     beta_ns_per_byte: float = 0.04
     nic_msg_ns: float = 80.0
+    rx_nic_msg_ns: Optional[float] = None
+    rx_beta_ns_per_byte: Optional[float] = None
     # comm thread
     comm_msg_ns: float = 450.0
     comm_byte_ns: float = 0.01
@@ -126,7 +133,7 @@ class CostModel:
     def __post_init__(self) -> None:
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
-            if value < 0:
+            if value is not None and value < 0:
                 raise ConfigError(f"cost field {f.name!r} must be >= 0, got {value}")
 
     # ------------------------------------------------------------------
@@ -139,6 +146,20 @@ class CostModel:
     def tx_occupancy_ns(self, payload_bytes: int) -> float:
         """NIC occupancy to inject one message (serialization term)."""
         return self.nic_msg_ns + payload_bytes * self.beta_ns_per_byte
+
+    def rx_occupancy_ns(self, payload_bytes: int) -> float:
+        """NIC occupancy to receive one message (rx serialization).
+
+        The rx constants resolve lazily so that ``None`` keeps mirroring
+        the tx side even through :meth:`replace`.
+        """
+        msg_ns = self.rx_nic_msg_ns
+        beta = self.rx_beta_ns_per_byte
+        if msg_ns is None:
+            msg_ns = self.nic_msg_ns
+        if beta is None:
+            beta = self.beta_ns_per_byte
+        return msg_ns + payload_bytes * beta
 
     def comm_service_ns(self, payload_bytes: int) -> float:
         """Comm-thread service time for one message (either direction)."""

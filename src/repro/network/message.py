@@ -61,6 +61,22 @@ class NetMessage:
         attached when observability is enabled; every transport
         component that touches the message attributes its simulated time
         here. ``None`` (the default) keeps the hot path span-free.
+    seq / rel_src:
+        Reliability envelope (see :mod:`repro.runtime.reliability`):
+        per-channel sequence number and source process id for ack
+        routing. ``None`` for unprotected messages — the defaults keep
+        the hot path reliability-free.
+    attempt:
+        Which transmission this physical copy is (0 = first send,
+        1 = first retransmit, ...).
+    checksum_ok:
+        Cleared by the fault injector when it corrupts the payload; the
+        reliability layer's arrival checksum verification discards such
+        copies (or, without a reliability layer, the transport drops
+        them as lost).
+    piggyback_ack:
+        Optional ``(acker_process, cum_seq, sacks)`` cumulative ack
+        riding on a reverse-direction data message.
     """
 
     kind: str
@@ -72,8 +88,40 @@ class NetMessage:
     expedited: bool = True
     send_time: float = 0.0
     span: Optional[Any] = None
+    seq: Optional[int] = None
+    rel_src: Optional[int] = None
+    attempt: int = 0
+    checksum_ok: bool = True
+    piggyback_ack: Optional[tuple] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     def addressed_to_worker(self) -> bool:
         """Whether the message targets a specific PE (vs. a process)."""
         return self.dst_worker is not None
+
+    def wire_copy(self) -> "NetMessage":
+        """Physical duplicate of this message (fault fabric / retransmit).
+
+        Shares the payload but owns its envelope and, when observability
+        is on, an independent span so each copy attributes its own
+        transit times. Keeps ``msg_id`` — copies are the same *logical*
+        message, which is what receiver-side dedup keys on (via ``seq``).
+        """
+        span = self.span.clone() if self.span is not None else None
+        return NetMessage(
+            kind=self.kind,
+            src_worker=self.src_worker,
+            dst_process=self.dst_process,
+            size_bytes=self.size_bytes,
+            payload=self.payload,
+            dst_worker=self.dst_worker,
+            expedited=self.expedited,
+            send_time=self.send_time,
+            span=span,
+            seq=self.seq,
+            rel_src=self.rel_src,
+            attempt=self.attempt,
+            checksum_ok=self.checksum_ok,
+            piggyback_ack=self.piggyback_ack,
+            msg_id=self.msg_id,
+        )

@@ -57,6 +57,9 @@ class Nic:
     _rx_free: float = 0.0
     #: Installed by the runtime: receives messages that finished rx.
     sink: Optional[Callable[[NetMessage], None]] = None
+    #: Installed by the runtime when a fault plan is active; ``None``
+    #: keeps both directions fault-free with one check per message.
+    faults: Optional[object] = None
 
     def inject(self, msg: NetMessage, dst_nic: "Nic", wire_latency_ns: float) -> None:
         """Serialize ``msg`` onto the wire towards ``dst_nic``.
@@ -65,18 +68,21 @@ class Nic:
         comm-thread service in SMP mode). The message arrives at the
         destination NIC ``occupancy + wire latency`` later, subject to
         tx-side queueing.
+
+        With a fault injector attached, the wire dice roll here — at the
+        source NIC, after the tx occupancy is booked: a dropped message
+        still paid to leave the node, it just never arrives.
         """
         now = self.engine.now
         occupancy = self.costs.tx_occupancy_ns(msg.size_bytes)
+        faults = self.faults
+        if faults is not None:
+            occupancy *= faults.nic_occupancy_multiplier(self.node_id, now)
         start = self._tx_free if self._tx_free > now else now
         self.stats.tx_queue_wait_ns += start - now
         self._tx_free = start + occupancy
         self.stats.tx_messages += 1
         self.stats.tx_bytes += msg.size_bytes
-        span = msg.span
-        if span is not None:
-            span.nic_tx_queue_ns += start - now
-            span.wire_ns += occupancy + wire_latency_ns
         tracer = self.engine.tracer
         if tracer is not None and tracer.wants("msg"):
             tracer.record(
@@ -84,14 +90,28 @@ class Nic:
                 start=start, dur=occupancy,
             )
         arrival = self._tx_free + wire_latency_ns
-        self.engine.at(arrival, dst_nic.receive, msg)
+        if faults is None:
+            span = msg.span
+            if span is not None:
+                span.nic_tx_queue_ns += start - now
+                span.wire_ns += occupancy + wire_latency_ns
+            self.engine.at(arrival, dst_nic.receive, msg)
+            return
+        for copy, extra_ns in faults.wire_outcomes(msg, dst_nic.node_id, now):
+            span = copy.span
+            if span is not None:
+                span.nic_tx_queue_ns += start - now
+                span.wire_ns += occupancy + wire_latency_ns + extra_ns
+            self.engine.at(arrival + extra_ns, dst_nic.receive, copy)
 
     def receive(self, msg: NetMessage) -> None:
         """Serialize an arriving message through the rx side, then sink it."""
         if self.sink is None:
             raise SimulationError(f"NIC {self.node_id} has no sink installed")
         now = self.engine.now
-        occupancy = self.costs.tx_occupancy_ns(msg.size_bytes)
+        occupancy = self.costs.rx_occupancy_ns(msg.size_bytes)
+        if self.faults is not None:
+            occupancy *= self.faults.nic_occupancy_multiplier(self.node_id, now)
         start = self._rx_free if self._rx_free > now else now
         self.stats.rx_queue_wait_ns += start - now
         self._rx_free = start + occupancy

@@ -125,6 +125,34 @@ _TRAM_COUNTERS = (
     ("buffer_bytes_allocated", "bytes"),
     ("flushes_requested", "flushes"),
     ("priority_flushes", "flushes"),
+    ("degraded_destinations", "processes"),
+    ("direct_fallback_sends", "items"),
+    ("flush_escalations", "escalations"),
+)
+
+_FAULT_COUNTERS = (
+    ("messages_dropped", "messages"),
+    ("messages_duplicated", "messages"),
+    ("messages_corrupted", "messages"),
+    ("messages_reordered", "messages"),
+    ("messages_lost", "messages"),
+    ("items_lost", "items"),
+)
+
+_RELIABILITY_COUNTERS = (
+    ("protected_messages", "messages"),
+    ("retransmits", "messages"),
+    ("acks_sent", "messages"),
+    ("acks_piggybacked", "messages"),
+    ("nacks_sent", "messages"),
+    ("duplicates_discarded", "messages"),
+    ("corrupt_discarded", "messages"),
+    ("window_overflow_discards", "messages"),
+    ("channels_degraded", "channels"),
+    ("messages_abandoned", "messages"),
+    ("items_abandoned", "items"),
+    ("messages_unconfirmed", "messages"),
+    ("stale_discarded", "messages"),
 )
 
 _UTIL_GAUGES = (
@@ -221,6 +249,25 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
     reg.gauge("utilization.bottleneck",
               lambda: util().bottleneck() if util() is not None else None,
               help="most-utilized component class")
+
+    faults = getattr(rt, "faults", None)
+    if faults is not None:
+        fstats = faults.stats
+        for fname, unit in _FAULT_COUNTERS:
+            reg.counter(f"faults.{fname}",
+                        lambda s=fstats, f=fname: getattr(s, f), unit=unit)
+        reg.gauge("faults.ct_stall_ns", lambda s=fstats: s.ct_stall_ns,
+                  unit="ns", help="comm-thread time frozen by stall windows")
+
+    reliable = getattr(rt, "reliable", None)
+    if reliable is not None:
+        rstats = reliable.stats
+        for fname, unit in _RELIABILITY_COUNTERS:
+            reg.counter(f"reliability.{fname}",
+                        lambda s=rstats, f=fname: getattr(s, f), unit=unit)
+        reg.gauge("reliability.pending_messages",
+                  lambda r=reliable: r.pending_count(), unit="messages",
+                  help="sent but unacked messages at snapshot time")
 
     for i, scheme in enumerate(getattr(rt, "schemes", ())):
         prefix = f"tram.{i}.{scheme.name}"

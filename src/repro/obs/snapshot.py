@@ -59,6 +59,22 @@ def _utilization_dict(rt: Any) -> Optional[dict]:
     return out
 
 
+def _faults_dict(rt: Any) -> Optional[dict]:
+    faults = getattr(rt, "faults", None)
+    if faults is None:
+        return None
+    return faults.stats.to_dict()
+
+
+def _reliability_dict(rt: Any) -> Optional[dict]:
+    reliable = getattr(rt, "reliable", None)
+    if reliable is None:
+        return None
+    out = reliable.stats.to_dict()
+    out["pending_messages"] = reliable.pending_count()
+    return out
+
+
 def run_snapshot(rt: Any) -> dict:
     """Summarize a finished :class:`~repro.runtime.system.RuntimeSystem`."""
     transport = rt.transport.stats
@@ -76,5 +92,7 @@ def run_snapshot(rt: Any) -> dict:
             _scheme_dict(i, s) for i, s in enumerate(getattr(rt, "schemes", ()))
         ],
         "utilization": _utilization_dict(rt),
+        "faults": _faults_dict(rt),
+        "reliability": _reliability_dict(rt),
         "metrics": registry_from_runtime(rt).to_json(),
     }

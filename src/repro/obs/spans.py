@@ -13,6 +13,10 @@ stage                     simulated time attributed
 ``src_buffer``            item creation -> message release, minus the
                           source grouping work
 ``src_group``             source-side grouping CPU (WsP only)
+``retransmit``            wait between a message's first release and the
+                          release of the retransmitted copy that was
+                          finally delivered (reliability layer only;
+                          accumulated in ``MsgSpan.retransmit_ns``)
 ``ct_queue``              queueing behind comm threads (both sides)
 ``ct_service``            comm-thread service (both sides)
 ``nic_tx_queue``          queueing behind the source NIC tx server
@@ -49,6 +53,7 @@ from repro.obs.hist import Log2Histogram
 STAGES = (
     "src_buffer",
     "src_group",
+    "retransmit",
     "ct_queue",
     "ct_service",
     "nic_tx_queue",
@@ -74,6 +79,7 @@ class MsgSpan:
 
     __slots__ = (
         "group_ns",
+        "retransmit_ns",
         "ct_queue_ns",
         "ct_service_ns",
         "nic_tx_queue_ns",
@@ -84,6 +90,7 @@ class MsgSpan:
 
     def __init__(self, group_ns: float = 0.0) -> None:
         self.group_ns = group_ns
+        self.retransmit_ns = 0.0
         self.ct_queue_ns = 0.0
         self.ct_service_ns = 0.0
         self.nic_tx_queue_ns = 0.0
@@ -91,8 +98,22 @@ class MsgSpan:
         self.nic_rx_ns = 0.0
         self.pe_arrival = 0.0
 
+    def clone(self) -> "MsgSpan":
+        """Independent copy — used when the fault fabric duplicates a
+        message, so each physical copy attributes its own transit."""
+        c = MsgSpan(self.group_ns)
+        c.retransmit_ns = self.retransmit_ns
+        c.ct_queue_ns = self.ct_queue_ns
+        c.ct_service_ns = self.ct_service_ns
+        c.nic_tx_queue_ns = self.nic_tx_queue_ns
+        c.wire_ns = self.wire_ns
+        c.nic_rx_ns = self.nic_rx_ns
+        c.pe_arrival = self.pe_arrival
+        return c
+
     def transit_ns(self) -> float:
-        """Accumulated comm-thread/NIC/wire time (excludes grouping)."""
+        """Accumulated comm-thread/NIC/wire time (excludes grouping and
+        the pre-release retransmit wait)."""
         return (
             self.ct_queue_ns
             + self.ct_service_ns

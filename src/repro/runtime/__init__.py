@@ -25,6 +25,11 @@ from repro.runtime.node import Node
 from repro.runtime.proc import Process
 from repro.runtime.qd_protocol import QuiescenceDetector
 from repro.runtime.quiescence import QDCounter
+from repro.runtime.reliability import (
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliableDelivery,
+)
 from repro.runtime.system import RuntimeSystem
 from repro.runtime.transport import Transport, TransportStats
 from repro.runtime.worker import Worker, WorkerStats
@@ -37,6 +42,9 @@ __all__ = [
     "Process",
     "QDCounter",
     "QuiescenceDetector",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliableDelivery",
     "RuntimeSystem",
     "Transport",
     "TransportStats",

@@ -61,6 +61,16 @@ class CommThread:
         now = self.rt.engine.now
         service = self.rt.costs.comm_service_ns(msg.size_bytes)
         start = self._free if self._free > now else now
+        faults = self.rt.faults
+        if faults is not None:
+            # A scripted ct_stall window freezes the server: service may
+            # not begin before the window closes. The wait lands in the
+            # queue-wait accounting (and the ct_queue span stage), so the
+            # stage-partition identity is unaffected.
+            stall_until = faults.ct_stall_until(self.pid, now)
+            if stall_until > start:
+                faults.stats.ct_stall_ns += stall_until - start
+                start = stall_until
         self.stats.queue_wait_ns += start - now
         self._free = start + service
         self.stats.busy_ns += service
@@ -91,12 +101,16 @@ class CommThread:
         self.rt.engine.at(done, self._deliver, msg)
 
     def _deliver(self, msg: NetMessage) -> None:
+        rt = self.rt
+        if rt.reliable is not None or rt.faults is not None:
+            if not rt.transport.accept_inbound(msg, self.pid):
+                return
         wid = msg.dst_worker
         if wid is None:
-            wid = self.rt.process(self.pid).next_receiver()
-        worker = self.rt.worker(wid)
+            wid = rt.process(self.pid).next_receiver()
+        worker = rt.worker(wid)
         # Small enqueue hop from the comm thread into the PE's queue.
-        self.rt.engine.after(self.rt.costs.enqueue_ns, worker.deliver_message, msg)
+        rt.engine.after(rt.costs.enqueue_ns, worker.deliver_message, msg)
 
     @property
     def backlog_ns(self) -> float:

@@ -55,6 +55,14 @@ class QuiescenceDetector:
 
     #: Counter-report message size (two 8-byte counters + header).
     REPLY_BYTES = 16
+    #: Fault-mode liveness knobs: a wave whose replies do not all arrive
+    #: within ``WATCHDOG_FACTOR`` poll intervals counts as stalled, and
+    #: after ``STRIKE_LIMIT`` stalled waves — or as many consecutive
+    #: complete waves stuck on identical unbalanced totals — quiescence
+    #: is declared *degraded* instead of hanging forever. Only armed
+    #: when the runtime has a fault plan.
+    WATCHDOG_FACTOR = 10.0
+    STRIKE_LIMIT = 5
 
     def __init__(
         self,
@@ -86,6 +94,14 @@ class QuiescenceDetector:
         #: Protocol overhead counters (for the curious).
         self.waves_run = 0
         self.messages_sent = 0
+        #: Set when quiescence was declared by the fault-mode fallback
+        #: (loss or a stuck channel) rather than clean balanced waves.
+        self.degraded = False
+        self._lost = 0
+        self._watchdog = None
+        self._stall_strikes = 0
+        self._unbalanced_strikes = 0
+        self._last_any_totals: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Application-side accounting
@@ -97,6 +113,17 @@ class QuiescenceDetector:
     def note_consumed(self, ctx: "ExecContext", n: int = 1) -> None:
         """Record ``n`` application messages/items fully handled."""
         self._consumed[ctx.worker.wid] += n
+
+    def note_lost(self, n: int = 1) -> None:
+        """Record ``n`` items destroyed by faults, never to be consumed.
+
+        Fed by ``RuntimeSystem.wire_loss_accounting``; the loss total
+        joins the balance test so a lossy run converges to a *degraded*
+        quiescence verdict instead of never balancing. (Kept as one
+        coordinator-side counter — a simulation shortcut; the per-process
+        counters only carry produced/consumed like the real protocol.)
+        """
+        self._lost += n
 
     # ------------------------------------------------------------------
     # Protocol
@@ -119,6 +146,26 @@ class QuiescenceDetector:
         # The coordinator task runs on worker 0 and polls every process
         # (including its own, uniformly, so costs are symmetric).
         self.rt.post(0, self._send_polls, expedited=True)
+        if self.rt.faults is not None:
+            self._watchdog = self.rt.engine.after(
+                self.WATCHDOG_FACTOR * self.poll_interval_ns, self._on_watchdog
+            )
+
+    def _on_watchdog(self) -> None:
+        """A wave's replies did not all arrive in time (lost to faults)."""
+        self._watchdog = None
+        if self._done:
+            return
+        self._stall_strikes += 1
+        if self._stall_strikes >= self.STRIKE_LIMIT:
+            self._declare_degraded(self.rt.engine.now)
+            return
+        self._begin_wave()
+
+    def _declare_degraded(self, t: float) -> None:
+        self._done = True
+        self.degraded = True
+        self.on_quiescence(t)
 
     def _send_polls(self, ctx: "ExecContext") -> None:
         costs = self.rt.costs
@@ -168,13 +215,37 @@ class QuiescenceDetector:
         self._pending_replies -= 1
         if self._pending_replies:
             return
-        totals = (self._wave_produced, self._wave_consumed)
-        balanced = totals[0] == totals[1]
+        faulty = self.rt.faults is not None
+        if faulty:
+            if self._watchdog is not None:
+                self.rt.engine.cancel(self._watchdog)
+                self._watchdog = None
+            self._stall_strikes = 0
+            # Acknowledged losses join the balance: a degraded run's
+            # books close at produced == consumed + lost.
+            totals = (self._wave_produced, self._wave_consumed, self._lost)
+            balanced = totals[0] == totals[1] + totals[2]
+        else:
+            totals = (self._wave_produced, self._wave_consumed)
+            balanced = totals[0] == totals[1]
         if balanced and self._last_totals == totals:
             # Second consecutive identical, balanced observation.
             self._done = True
             self.on_quiescence(ctx.now)
             return
+        if faulty:
+            # Complete waves stuck on the same unbalanced totals mean
+            # items vanished without a loss report (e.g. loss accounting
+            # not wired): declare a degraded quiescence rather than
+            # polling forever.
+            if not balanced and self._last_any_totals == totals:
+                self._unbalanced_strikes += 1
+                if self._unbalanced_strikes >= self.STRIKE_LIMIT:
+                    self._declare_degraded(ctx.now)
+                    return
+            else:
+                self._unbalanced_strikes = 0
+            self._last_any_totals = totals
         self._last_totals = totals if balanced else None
         self.rt.engine.after(self.poll_interval_ns, self._begin_wave)
 

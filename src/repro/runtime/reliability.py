@@ -1,0 +1,484 @@
+"""Reliable delivery over the faulty inter-node wire.
+
+When a runtime is built with a :class:`ReliabilityConfig`, every
+inter-node data message is wrapped in a lightweight go-back-N-with-SACK
+protocol, per directed process pair:
+
+* the sender stamps a per-channel sequence number and keeps the message
+  pending under a timeout-driven retransmit timer (exponential backoff,
+  bounded retry budget);
+* the receiver verifies the fault fabric's checksum bit, discards
+  duplicates through a bounded dedup window, and acknowledges with
+  delayed cumulative acks + selective acks — piggybacked on
+  reverse-direction data when any is about to leave, as a real RTS
+  would, or sent as small dedicated ``rel.ack`` control messages
+  otherwise;
+* a corrupt arrival triggers an immediate nack so retransmission does
+  not wait out the full timeout.
+
+Retransmitted copies travel the full transport path again and carry a
+*fresh* span whose ``retransmit_ns`` records the wait since the first
+transmission, so stage-attributed latency keeps partitioning exactly
+(see :mod:`repro.obs.spans`).
+
+When a message exhausts its retry budget the channel **degrades**: all
+of its pending messages are abandoned (counted, reported through
+``on_loss`` so quiescence accounting stays honest) and subsequent
+traffic on the channel travels raw, while the aggregation schemes are
+told to fall back to direct sends for that destination (see
+``SchemeBase.on_destination_degraded``). With ``degrade=False`` the
+budget trip raises :class:`~repro.errors.RetryExhaustedError` instead.
+
+Control traffic (acks) is itself unprotected — a lost ack is repaired by
+the data timeout, never by acking acks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.network.message import NetMessage, Route
+from repro.obs.spans import MsgSpan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import RuntimeSystem
+
+#: Message kind of dedicated ack/nack control messages.
+ACK_KIND = "rel.ack"
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the reliable-delivery layer.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled config is equivalent to no config.
+    retransmit_timeout_ns:
+        Base retransmit timeout (first retry). Should comfortably exceed
+        one round trip including comm-thread/NIC queueing.
+    backoff_factor:
+        Multiplier applied to the timeout per retry (exponential
+        backoff).
+    max_retries:
+        Retry budget per message; exceeding it degrades the channel (or
+        raises, with ``degrade=False``).
+    ack_delay_ns:
+        Cumulative-ack delay: how long the receiver waits for more
+        arrivals (or a reverse-direction data message to piggyback on)
+        before sending a dedicated ack.
+    dedup_window:
+        Receiver-side reorder tolerance in sequence numbers; copies
+        arriving further than this ahead of the cumulative point are
+        discarded and recovered by retransmission.
+    degrade:
+        On budget exhaustion, fall back to unprotected direct traffic
+        (the default) instead of raising
+        :class:`~repro.errors.RetryExhaustedError`.
+    """
+
+    enabled: bool = True
+    retransmit_timeout_ns: float = 50_000.0
+    backoff_factor: float = 2.0
+    max_retries: int = 5
+    ack_delay_ns: float = 3_000.0
+    dedup_window: int = 1024
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retransmit_timeout_ns <= 0:
+            raise ConfigError(
+                f"retransmit_timeout_ns must be positive, got "
+                f"{self.retransmit_timeout_ns}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retries < 1:
+            raise ConfigError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.ack_delay_ns < 0:
+            raise ConfigError(f"ack_delay_ns must be >= 0, got {self.ack_delay_ns}")
+        if self.dedup_window < 1:
+            raise ConfigError(f"dedup_window must be >= 1, got {self.dedup_window}")
+
+
+@dataclass
+class ReliabilityStats:
+    """Protocol counters across all channels of one runtime."""
+
+    protected_messages: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    acks_piggybacked: int = 0
+    nacks_sent: int = 0
+    duplicates_discarded: int = 0
+    corrupt_discarded: int = 0
+    window_overflow_discards: int = 0
+    channels_degraded: int = 0
+    messages_abandoned: int = 0
+    items_abandoned: int = 0
+    #: Pending messages that had in fact been delivered when their
+    #: channel degraded — only the acknowledgement was lost. A real
+    #: sender cannot tell these from true losses (two generals); the
+    #: simulator consults receiver ground truth so loss accounting stays
+    #: exact.
+    messages_unconfirmed: int = 0
+    #: Late-arriving copies of messages their channel had already
+    #: written off at degrade time, discarded at the receiver.
+    stale_discarded: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "protected_messages": self.protected_messages,
+            "retransmits": self.retransmits,
+            "acks_sent": self.acks_sent,
+            "acks_piggybacked": self.acks_piggybacked,
+            "nacks_sent": self.nacks_sent,
+            "duplicates_discarded": self.duplicates_discarded,
+            "corrupt_discarded": self.corrupt_discarded,
+            "window_overflow_discards": self.window_overflow_discards,
+            "channels_degraded": self.channels_degraded,
+            "messages_abandoned": self.messages_abandoned,
+            "items_abandoned": self.items_abandoned,
+            "messages_unconfirmed": self.messages_unconfirmed,
+            "stale_discarded": self.stale_discarded,
+        }
+
+
+@dataclass
+class _AckPayload:
+    """Content of a dedicated or piggybacked ack.
+
+    ``count`` is 0 so fault-loss accounting sees no items in control
+    traffic.
+    """
+
+    acker: int
+    cum: int
+    sacks: Tuple[int, ...]
+    nack: Optional[int] = None
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+@dataclass
+class _Pending:
+    """Sender-side state of one unacked message."""
+
+    msg: NetMessage
+    first_send_time: float
+    attempt: int = 0
+    timer: Optional[Any] = None
+
+
+@dataclass
+class _TxChannel:
+    """Sender side of one directed process pair."""
+
+    next_seq: int = 0
+    pending: Dict[int, _Pending] = field(default_factory=dict)
+    degraded: bool = False
+    #: Sequence numbers written off when the channel degraded. Copies of
+    #: these may still be in flight; the receiver discards them on
+    #: arrival (a real protocol would carry a channel epoch for this) so
+    #: an item is never both counted lost and delivered. Bounded: filled
+    #: once, at degrade time.
+    stale: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class _RxState:
+    """Receiver side of one directed process pair."""
+
+    cum: int = -1
+    seen: Set[int] = field(default_factory=set)
+    ack_timer: Optional[Any] = None
+
+
+class ReliableDelivery:
+    """Per-runtime reliable-delivery protocol engine.
+
+    Installed as ``rt.reliable`` when the runtime is built with an
+    enabled :class:`ReliabilityConfig`; ``None`` otherwise, so the
+    default hot path pays one ``is None`` check per send/arrival.
+    """
+
+    __slots__ = ("rt", "config", "stats", "on_loss", "_tx", "_rx")
+
+    def __init__(self, rt: "RuntimeSystem", config: ReliabilityConfig) -> None:
+        self.rt = rt
+        self.config = config
+        self.stats = ReliabilityStats()
+        #: Called as ``fn(msg, items)`` for each abandoned message when a
+        #: channel degrades; apps hook this (like the fault injector's
+        #: ``on_loss``) to keep quiescence accounting loss-aware.
+        self.on_loss: Optional[Callable[[NetMessage, int], None]] = None
+        self._tx: Dict[Tuple[int, int], _TxChannel] = {}
+        self._rx: Dict[Tuple[int, int], _RxState] = {}
+        rt.register_handler(ACK_KIND, self._on_ack_msg)
+
+    # ------------------------------------------------------------------
+    # Send path (called from Transport.send)
+    # ------------------------------------------------------------------
+    def on_send(self, msg: NetMessage, src_process: int, route: Route) -> None:
+        """Stamp an outgoing message into its channel, if protectable.
+
+        Only inter-node data is protected: the intra-node shared-memory
+        transport is lossless (the fault fabric never touches it), and
+        acks protect themselves through the data timeout.
+        """
+        if msg.seq is not None:
+            # A retransmitted copy re-entering the transport: already
+            # stamped and pending; just refresh its piggyback chance.
+            self._maybe_piggyback(msg, src_process)
+            return
+        if route is not Route.INTER_NODE or msg.kind == ACK_KIND:
+            return
+        ch = self._tx_channel(src_process, msg.dst_process)
+        if ch.degraded:
+            return
+        msg.seq = ch.next_seq
+        msg.rel_src = src_process
+        ch.next_seq += 1
+        self.stats.protected_messages += 1
+        self._maybe_piggyback(msg, src_process)
+        entry = _Pending(msg=msg, first_send_time=self.rt.engine.now)
+        ch.pending[msg.seq] = entry
+        entry.timer = self.rt.engine.after(
+            self.config.retransmit_timeout_ns,
+            self._on_timeout,
+            src_process,
+            msg.dst_process,
+            msg.seq,
+        )
+
+    def _maybe_piggyback(self, msg: NetMessage, src_process: int) -> None:
+        """Fold a due ack for ``msg.dst_process`` onto this data message."""
+        rx = self._rx.get((src_process, msg.dst_process))
+        if rx is None or rx.ack_timer is None:
+            return
+        self.rt.engine.cancel(rx.ack_timer)
+        rx.ack_timer = None
+        msg.piggyback_ack = (src_process, rx.cum, tuple(sorted(rx.seen)))
+        self.stats.acks_piggybacked += 1
+
+    # ------------------------------------------------------------------
+    # Receive path (called at the destination process, before delivery)
+    # ------------------------------------------------------------------
+    def accept_inbound(self, msg: NetMessage, dst_process: int) -> bool:
+        """Protocol processing on arrival; False means discard the copy."""
+        pig = msg.piggyback_ack
+        if pig is not None:
+            acker, cum, sacks = pig
+            self._process_ack(dst_process, acker, cum, sacks, None)
+        if not msg.checksum_ok:
+            if msg.seq is not None:
+                self.stats.corrupt_discarded += 1
+                self._send_ack(dst_process, msg.rel_src, nack=msg.seq)
+            else:
+                faults = self.rt.faults
+                if faults is not None:
+                    faults.note_destroyed(msg)
+            return False
+        if msg.seq is None:
+            return True
+        seq = msg.seq
+        ch = self._tx.get((msg.rel_src, dst_process))
+        if ch is not None and seq in ch.stale:
+            # A late copy of a message its channel already wrote off at
+            # degrade time; delivering it now would double-count the item
+            # as both lost and delivered.
+            self.stats.stale_discarded += 1
+            return False
+        rx = self._rx_state(dst_process, msg.rel_src)
+        if seq <= rx.cum or seq in rx.seen:
+            # Already delivered once: the ack must have been lost or is
+            # still in flight; discard and re-ack.
+            self.stats.duplicates_discarded += 1
+            self._schedule_ack(dst_process, msg.rel_src)
+            return False
+        if seq > rx.cum + self.config.dedup_window:
+            # Too far ahead to track; recovered by retransmission once
+            # the cumulative point advances.
+            self.stats.window_overflow_discards += 1
+            return False
+        rx.seen.add(seq)
+        while (rx.cum + 1) in rx.seen:
+            rx.cum += 1
+            rx.seen.discard(rx.cum)
+        self._schedule_ack(dst_process, msg.rel_src)
+        return True
+
+    # ------------------------------------------------------------------
+    # Acks
+    # ------------------------------------------------------------------
+    def _schedule_ack(self, pid: int, peer: int) -> None:
+        rx = self._rx_state(pid, peer)
+        if rx.ack_timer is None:
+            rx.ack_timer = self.rt.engine.after(
+                self.config.ack_delay_ns, self._fire_ack, pid, peer
+            )
+
+    def _fire_ack(self, pid: int, peer: int) -> None:
+        rx = self._rx_state(pid, peer)
+        rx.ack_timer = None
+        self._send_ack(pid, peer, nack=None)
+
+    def _send_ack(self, pid: int, peer: int, nack: Optional[int]) -> None:
+        """Emit a dedicated (unprotected) ack control message."""
+        rx = self._rx_state(pid, peer)
+        payload = _AckPayload(
+            acker=pid, cum=rx.cum, sacks=tuple(sorted(rx.seen)), nack=nack
+        )
+        machine = self.rt.machine
+        ack = NetMessage(
+            kind=ACK_KIND,
+            src_worker=machine.workers_of_process(pid)[0],
+            dst_process=peer,
+            size_bytes=self.rt.costs.header_bytes,
+            payload=payload,
+            expedited=True,
+        )
+        if nack is None:
+            self.stats.acks_sent += 1
+        else:
+            self.stats.nacks_sent += 1
+        self.rt.transport.send(ack)
+
+    def _on_ack_msg(self, ctx: Any, msg: NetMessage) -> None:
+        """Handler for dedicated ack messages (runs on a destination PE)."""
+        p = msg.payload
+        self._process_ack(msg.dst_process, p.acker, p.cum, p.sacks, p.nack)
+
+    def _process_ack(
+        self,
+        src_pid: int,
+        acker: int,
+        cum: int,
+        sacks: Tuple[int, ...],
+        nack: Optional[int],
+    ) -> None:
+        """Retire pending messages of channel ``src_pid -> acker``."""
+        ch = self._tx.get((src_pid, acker))
+        if ch is None:
+            return
+        sack_set = set(sacks)
+        acked = [s for s in ch.pending if s <= cum or s in sack_set]
+        for seq in acked:
+            entry = ch.pending.pop(seq)
+            if entry.timer is not None:
+                self.rt.engine.cancel(entry.timer)
+        if nack is not None and nack in ch.pending:
+            self._retransmit_now(src_pid, acker, nack)
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _on_timeout(self, src: int, dst: int, seq: int) -> None:
+        ch = self._tx.get((src, dst))
+        entry = ch.pending.get(seq) if ch is not None else None
+        if entry is None:
+            return
+        entry.timer = None
+        self._retransmit_now(src, dst, seq)
+
+    def _retransmit_now(self, src: int, dst: int, seq: int) -> None:
+        ch = self._tx[(src, dst)]
+        entry = ch.pending[seq]
+        if entry.attempt >= self.config.max_retries:
+            self._exhaust(src, dst, seq)
+            return
+        entry.attempt += 1
+        self.stats.retransmits += 1
+        if entry.timer is not None:
+            self.rt.engine.cancel(entry.timer)
+        copy = self._retransmit_copy(entry)
+        self.rt.transport.send(copy)
+        timeout = self.config.retransmit_timeout_ns * (
+            self.config.backoff_factor ** entry.attempt
+        )
+        entry.timer = self.rt.engine.after(timeout, self._on_timeout, src, dst, seq)
+
+    def _retransmit_copy(self, entry: _Pending) -> NetMessage:
+        """Fresh physical copy; the span restarts with the wait charged
+        to the ``retransmit`` stage so the partition identity holds."""
+        copy = entry.msg.wire_copy()
+        copy.attempt = entry.attempt
+        copy.checksum_ok = True
+        copy.piggyback_ack = None
+        if entry.msg.span is not None:
+            span = MsgSpan(entry.msg.span.group_ns)
+            span.retransmit_ns = self.rt.engine.now - entry.first_send_time
+            copy.span = span
+        return copy
+
+    # ------------------------------------------------------------------
+    # Degradation
+    # ------------------------------------------------------------------
+    def _exhaust(self, src: int, dst: int, seq: int) -> None:
+        ch = self._tx[(src, dst)]
+        entry = ch.pending[seq]
+        if not self.config.degrade:
+            raise RetryExhaustedError(
+                f"message seq={seq} on channel {src}->{dst} undelivered after "
+                f"{entry.attempt} retransmissions (attempt {entry.attempt + 1} "
+                f"of {self.config.max_retries + 1})"
+            )
+        ch.degraded = True
+        self.stats.channels_degraded += 1
+        abandoned = sorted(ch.pending.items())
+        ch.pending.clear()
+        # Receiver ground truth: a pending seq at or below the receiver's
+        # cumulative point (or in its sack set) was delivered — only its
+        # ack died (e.g. the ack path runs through the faulty wire). A
+        # real sender cannot make this distinction; the simulator uses it
+        # so abandoned-loss accounting counts only true losses.
+        rx = self._rx.get((dst, src))
+        for s, e in abandoned:
+            if e.timer is not None:
+                self.rt.engine.cancel(e.timer)
+            if rx is not None and (s <= rx.cum or s in rx.seen):
+                self.stats.messages_unconfirmed += 1
+                continue
+            ch.stale.add(s)
+            items = int(getattr(e.msg.payload, "count", 0) or 0)
+            self.stats.messages_abandoned += 1
+            self.stats.items_abandoned += items
+            if self.on_loss is not None:
+                self.on_loss(e.msg, items)
+        for scheme in self.rt.schemes:
+            hook = getattr(scheme, "on_destination_degraded", None)
+            if hook is not None:
+                hook(src, dst)
+
+    # ------------------------------------------------------------------
+    # Introspection / state accessors
+    # ------------------------------------------------------------------
+    def _tx_channel(self, src: int, dst: int) -> _TxChannel:
+        ch = self._tx.get((src, dst))
+        if ch is None:
+            ch = _TxChannel()
+            self._tx[(src, dst)] = ch
+        return ch
+
+    def _rx_state(self, pid: int, peer: int) -> _RxState:
+        rx = self._rx.get((pid, peer))
+        if rx is None:
+            rx = _RxState()
+            self._rx[(pid, peer)] = rx
+        return rx
+
+    def is_degraded(self, src: int, dst: int) -> bool:
+        """Whether channel ``src -> dst`` has fallen back to raw sends."""
+        ch = self._tx.get((src, dst))
+        return ch is not None and ch.degraded
+
+    def pending_count(self) -> int:
+        """Unacked messages across all channels (for tests/diagnostics)."""
+        return sum(len(ch.pending) for ch in self._tx.values())

@@ -20,6 +20,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError, DeliveryError
+from repro.faults.context import active_fault_session
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.costs import CostModel
 from repro.machine.topology import MachineConfig
 from repro.network.fabric import Fabric
@@ -28,6 +31,7 @@ from repro.obs.config import ObsConfig, active_session
 from repro.runtime.commthread import CommThread
 from repro.runtime.node import Node
 from repro.runtime.proc import Process
+from repro.runtime.reliability import ReliabilityConfig, ReliableDelivery
 from repro.runtime.transport import Transport
 from repro.runtime.worker import Worker
 from repro.sim.engine import Engine, RunStats
@@ -53,6 +57,16 @@ class RuntimeSystem:
         stage-attributed latency spans. Defaults to the config of the
         active :class:`~repro.obs.config.ObsSession`, if any; otherwise
         instrumentation is off.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`. Defaults to the plan
+        of the active :class:`~repro.faults.FaultSession`, if any; with
+        neither (or a no-op plan) the transport is fault-free and pays
+        one ``is None`` check per hop.
+    reliability:
+        Optional :class:`~repro.runtime.reliability.ReliabilityConfig`
+        enabling the ack/retransmit layer. Defaults to the active fault
+        session's config (enabled under a session, so faulty runs still
+        deliver exactly once); ``None`` otherwise.
     """
 
     def __init__(
@@ -62,6 +76,8 @@ class RuntimeSystem:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         obs: Optional[ObsConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
         session = active_session()
         if obs is None and session is not None:
@@ -81,6 +97,28 @@ class RuntimeSystem:
         self.transport = Transport(self)
         self._handlers: Dict[str, Callable] = {}
 
+        fault_session = active_fault_session()
+        plan = faults
+        if plan is None and fault_session is not None:
+            plan = fault_session.plan
+        if plan is not None and plan.is_noop():
+            plan = None
+        #: Fault injector, or ``None`` (the default, zero-cost case).
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(plan=plan, rng=self.rng.stream("faults"))
+            if plan is not None
+            else None
+        )
+        rel_cfg = reliability
+        if rel_cfg is None and fault_session is not None:
+            rel_cfg = fault_session.reliability
+        #: Reliable-delivery layer, or ``None`` (the default).
+        self.reliable: Optional[ReliableDelivery] = (
+            ReliableDelivery(self, rel_cfg)
+            if rel_cfg is not None and rel_cfg.enabled
+            else None
+        )
+
         self._workers = [Worker(self, w) for w in range(machine.total_workers)]
         self._processes = [Process(self, p) for p in range(machine.total_processes)]
         self._nodes = []
@@ -89,6 +127,7 @@ class RuntimeSystem:
             for _ in range(machine.nics_per_node):
                 nic = Nic(engine=self.engine, costs=self.costs, node_id=n)
                 nic.sink = self.transport.on_nic_arrival
+                nic.faults = self.faults
                 nics.append(nic)
             self._nodes.append(Node(self, n, nics))
         if machine.smp:
@@ -144,6 +183,26 @@ class RuntimeSystem:
             return self._handlers[kind]
         except KeyError:
             raise DeliveryError(f"no handler registered for kind {kind!r}") from None
+
+    # ------------------------------------------------------------------
+    # Fault/reliability plumbing
+    # ------------------------------------------------------------------
+    def wire_loss_accounting(self, qd: Any) -> None:
+        """Route unrecoverable message loss into quiescence accounting.
+
+        ``qd`` is anything with a ``note_lost(n)`` method (a
+        :class:`~repro.runtime.quiescence.QDCounter`). No-op on a
+        fault-free, reliability-free runtime, so applications can call
+        it unconditionally.
+        """
+        def _on_loss(msg: Any, items: int) -> None:
+            if items:
+                qd.note_lost(items)
+
+        if self.faults is not None:
+            self.faults.on_loss = _on_loss
+        if self.reliable is not None:
+            self.reliable.on_loss = _on_loss
 
     # ------------------------------------------------------------------
     # Driving

@@ -70,8 +70,15 @@ class Transport:
         src_process = machine.process_of_worker(msg.src_worker)
         if not 0 <= msg.dst_process < machine.total_processes:
             raise DeliveryError(f"bad destination process {msg.dst_process}")
+        if msg.dst_worker is not None and not (
+            0 <= msg.dst_worker < machine.total_workers
+        ):
+            raise DeliveryError(f"bad destination worker {msg.dst_worker}")
         route = self._classify(src_process, msg.dst_process)
         self.stats.record(route, msg.size_bytes)
+        rel = rt.reliable
+        if rel is not None:
+            rel.on_send(msg, src_process, route)
         tracer = rt.engine.tracer
         if tracer is not None and tracer.wants("msg"):
             tracer.record(
@@ -149,8 +156,29 @@ class Transport:
             assert ct is not None
             ct.submit_inbound(msg)
         else:
+            if rt.reliable is not None or rt.faults is not None:
+                if not self.accept_inbound(msg, msg.dst_process):
+                    return
             wid = msg.dst_worker
             if wid is None:
                 wid = rt.process(msg.dst_process).next_receiver()
             recv_charge = rt.costs.nonsmp_recv_service_ns(msg.size_bytes)
             rt.worker(wid).deliver_message(msg, extra_charge_ns=recv_charge)
+
+    def accept_inbound(self, msg: NetMessage, dst_process: int) -> bool:
+        """Arrival-side protocol check; False means discard the copy.
+
+        With a reliability layer, the full dedup/checksum/ack machinery
+        runs; with faults alone, corrupt copies are destroyed here (and
+        counted as unprotected losses). Only called when one of the two
+        is active.
+        """
+        rel = self.rt.reliable
+        if rel is not None:
+            return rel.accept_inbound(msg, dst_process)
+        if not msg.checksum_ok:
+            faults = self.rt.faults
+            if faults is not None:
+                faults.note_destroyed(msg)
+            return False
+        return True

@@ -47,6 +47,11 @@ class TramConfig:
     latency_sample:
         Reservoir size for latency percentiles (0 disables sampling;
         mean/min/max are always tracked exactly).
+    degraded_flush_divisor:
+        When the reliability layer degrades a destination to direct
+        sends, the scheme's flush timers escalate: the effective
+        ``flush_timeout_ns`` is divided by this factor so items stop
+        pooling behind a destination that has already proven lossy.
     """
 
     buffer_items: int = 1024
@@ -57,6 +62,7 @@ class TramConfig:
     expedited: bool = True
     priority_threshold: Optional[float] = None
     latency_sample: int = 0
+    degraded_flush_divisor: float = 4.0
 
     def __post_init__(self) -> None:
         if self.buffer_items < 1:
@@ -67,6 +73,11 @@ class TramConfig:
             raise ConfigError("flush_timeout_ns must be positive when set")
         if self.latency_sample < 0:
             raise ConfigError("latency_sample must be >= 0")
+        if self.degraded_flush_divisor < 1.0:
+            raise ConfigError(
+                f"degraded_flush_divisor must be >= 1, got "
+                f"{self.degraded_flush_divisor}"
+            )
 
     def with_(self, **changes) -> "TramConfig":
         """Return a copy with the given fields changed."""

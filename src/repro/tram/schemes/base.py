@@ -92,6 +92,13 @@ class SchemeBase:
         )
         rt.schemes.append(self)
         self._t = rt.machine.workers_per_process
+        #: Directed ``(src_process, dst_process)`` pairs the reliability
+        #: layer gave up on; ``None`` until the first degradation so the
+        #: fault-free insert path pays one ``is None`` check.
+        self._degraded: Optional[set] = None
+        #: Flush-timer scale; drops below 1.0 when a destination
+        #: degrades (see :meth:`on_destination_degraded`).
+        self._flush_timeout_scale = 1.0
         #: Allocated buffer bytes per owner (worker id, or ("p", pid) for
         #: shared process buffers) — drives the cache-footprint penalty.
         self._footprint: dict = {}
@@ -127,6 +134,12 @@ class SchemeBase:
             # ctx.now == item.created, so with observability on the whole
             # bypass latency lands in the local_delivery stage.
             ctx.emit(self._post, dst, self._section_items_task, [item], ctx.now)
+            return
+        if self._degraded is not None and (
+            machine.process_of_worker(src),
+            machine.process_of_worker(dst),
+        ) in self._degraded:
+            self._direct_fallback_item(ctx, item)
             return
         self._insert_item(ctx, src, item)
 
@@ -172,6 +185,8 @@ class SchemeBase:
                 self.stats.items_bypassed_local += n_local
                 counts[lo:hi] = 0
                 total -= n_local
+        if total and self._degraded is not None:
+            total -= self._direct_fallback_bulk(ctx, src, counts)
         if total:
             self._insert_bulk(ctx, src, counts, total)
 
@@ -322,6 +337,75 @@ class SchemeBase:
         return 0.0
 
     # ==================================================================
+    # Degraded-mode fallback (reliability retry budget exhausted)
+    # ==================================================================
+    def on_destination_degraded(self, src_process: int, dst_process: int) -> None:
+        """Reliability-layer callback: the channel to ``dst_process`` is
+        lossy beyond repair. Stop pooling items behind it — subsequent
+        inserts for that pair travel as direct worker-addressed sends,
+        flush timers escalate, and whatever is already buffered at the
+        source is pushed out immediately."""
+        pair = (src_process, dst_process)
+        if self._degraded is None:
+            self._degraded = set()
+        elif pair in self._degraded:
+            return
+        self._degraded.add(pair)
+        self.stats.degraded_destinations += 1
+        if self.config.flush_timeout_ns is not None:
+            self._flush_timeout_scale = 1.0 / self.config.degraded_flush_divisor
+            self.stats.flush_escalations += 1
+        for wid in self.rt.machine.workers_of_process(src_process):
+            if self._has_pending(wid):
+                self.rt.worker(wid).post_task(
+                    self._flush_task, expedited=self.config.expedited
+                )
+
+    def _direct_fallback_item(self, ctx, item: Item) -> None:
+        """Send one item straight to its destination PE, unaggregated."""
+        self.stats.direct_fallback_sends += 1
+        self._emit_message(
+            ctx,
+            ItemBatch([item]),
+            1,
+            self.rt.machine.process_of_worker(item.dst),
+            item.dst,
+            full=False,
+        )
+
+    def _direct_fallback_bulk(self, ctx, src: int, counts: np.ndarray) -> int:
+        """Peel degraded destinations out of a bulk insert.
+
+        Each affected destination worker gets its own direct message;
+        returns how many items were peeled off (``counts`` is zeroed in
+        place for them).
+        """
+        machine = self.rt.machine
+        src_pid = machine.process_of_worker(src)
+        now = ctx.now
+        peeled = 0
+        for rank in np.nonzero(counts)[0]:
+            dst = int(rank)
+            dst_pid = machine.process_of_worker(dst)
+            if (src_pid, dst_pid) not in self._degraded:
+                continue
+            n = int(counts[rank])
+            payload = BulkBatch(
+                count=n,
+                dst_ids=None,
+                dst_counts=None,
+                src_ids=np.array([src], dtype=np.int64),
+                src_counts=np.array([n], dtype=np.int64),
+                t_sum=n * now,
+                t_min=now,
+            )
+            self.stats.direct_fallback_sends += n
+            self._emit_message(ctx, payload, n, dst_pid, dst, full=False)
+            counts[rank] = 0
+            peeled += n
+        return peeled
+
+    # ==================================================================
     # Flush plumbing
     # ==================================================================
     def _idle_hook(self, worker) -> None:
@@ -335,8 +419,10 @@ class SchemeBase:
         timeout = self.config.flush_timeout_ns
         if timeout is None or buf.timer_event is not None or buf.empty:
             return
+        # Scale is exactly 1.0 until a destination degrades, so the
+        # default timer arithmetic is unchanged bit for bit.
         buf.timer_event = self.rt.engine.after(
-            timeout, self._timer_fire, buf, owner_wid
+            timeout * self._flush_timeout_scale, self._timer_fire, buf, owner_wid
         )
 
     def _timer_fire(self, buf: Buffer, owner_wid: int) -> None:
@@ -387,7 +473,15 @@ class SchemeBase:
         group_ns = span.group_ns
         if group_ns > 0.0:
             st.record("src_group", group_ns, count)
-        buffered = sent - t_sum / count - group_ns
+        # For a retransmitted copy, ``sent`` is the *resend* time and
+        # ``retransmit_ns`` the wait since the first transmission;
+        # backing it out leaves src_buffer measuring creation -> first
+        # release, so the partition identity holds with the wait in its
+        # own stage.
+        retransmit_ns = span.retransmit_ns
+        if retransmit_ns > 0.0:
+            st.record("retransmit", retransmit_ns, count)
+        buffered = sent - t_sum / count - group_ns - retransmit_ns
         if buffered > 0.0:
             st.record("src_buffer", buffered, count)
         if span.ct_queue_ns > 0.0:

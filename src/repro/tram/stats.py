@@ -142,6 +142,14 @@ class TramStats:
     #: Buffer flushes triggered by the priority threshold (future-work
     #: feature); these messages are also counted in messages_flush.
     priority_flushes: int = 0
+    #: Destination processes this scheme fell back to direct sends for
+    #: (reliability retry budget exhausted).
+    degraded_destinations: int = 0
+    #: Items sent as direct per-item messages because their destination
+    #: pair was degraded.
+    direct_fallback_sends: int = 0
+    #: Flush-timer escalations performed when a destination degraded.
+    flush_escalations: int = 0
     latency: LatencyAggregate = field(default_factory=LatencyAggregate)
 
     @property
@@ -171,6 +179,9 @@ class TramStats:
             "atomic_inserts": self.atomic_inserts,
             "group_elements": self.group_elements,
             "buffer_bytes_allocated": self.buffer_bytes_allocated,
+            "degraded_destinations": self.degraded_destinations,
+            "direct_fallback_sends": self.direct_fallback_sends,
+            "flush_escalations": self.flush_escalations,
             "latency_p50_ns": self.latency.percentile(50),
             "latency_p99_ns": self.latency.percentile(99),
         }

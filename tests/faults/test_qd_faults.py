@@ -1,0 +1,111 @@
+"""Quiescence detection under faults: loss-aware books, degraded verdicts.
+
+Three regimes:
+
+* losses reported through ``wire_loss_accounting`` — the books close at
+  ``produced == consumed + lost`` and the verdict is clean;
+* losses *not* reported — complete waves stay stuck on identical
+  unbalanced totals, and after ``STRIKE_LIMIT`` strikes the detector
+  declares a *degraded* quiescence instead of polling forever;
+* the wire eats the detector's own replies — stalled-wave watchdog
+  strikes produce the degraded verdict.
+"""
+
+import numpy as np
+
+from repro.faults import FOREVER, FaultPlan, FaultWindow
+from repro.machine import MachineConfig
+from repro.runtime.qd_protocol import QuiescenceDetector
+from repro.runtime.quiescence import QDCounter
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+#: Items dropped only during the first 30us; the wire then heals so the
+#: detector's own traffic runs cleanly.
+EARLY_LOSS = FaultPlan(
+    windows=(FaultWindow(0.0, 30_000.0, "drop", magnitude=1.0),)
+)
+
+
+def build_lossy_app(plan, wire_losses, n_items=60):
+    rt = RuntimeSystem(MACHINE, seed=0, faults=plan, reliability=None)
+    detected = []
+    qd = QuiescenceDetector(rt, on_quiescence=detected.append,
+                            poll_interval_ns=20_000.0)
+    if wire_losses:
+        rt.wire_loss_accounting(qd)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=4, idle_flush=True),
+        deliver_item=lambda ctx, it: qd.note_consumed(ctx),
+    )
+
+    def one_send(ctx, dst):
+        qd.note_produced(ctx)
+        tram.insert(ctx, dst=dst)
+
+    rng = np.random.default_rng(1)
+    for _ in range(n_items):
+        src = int(rng.integers(0, MACHINE.total_workers))
+        dst = int(rng.integers(0, MACHINE.total_workers))
+        rt.post(src, one_send, dst, delay=float(rng.random() * 20_000.0))
+    qd.start()
+    return rt, qd, detected, tram
+
+
+class TestLossAwareQuiescence:
+    def test_reported_losses_close_the_books(self):
+        rt, qd, detected, tram = build_lossy_app(EARLY_LOSS, wire_losses=True)
+        rt.run(max_events=1_000_000)
+        assert qd.detected
+        assert len(detected) == 1
+        assert not qd.degraded  # losses were accounted: clean verdict
+        assert rt.faults.stats.items_lost > 0
+
+    def test_unreported_losses_yield_degraded_verdict(self):
+        rt, qd, detected, tram = build_lossy_app(EARLY_LOSS, wire_losses=False)
+        rt.run(max_events=1_000_000)
+        assert rt.faults.stats.items_lost > 0
+        assert qd.detected  # it did terminate...
+        assert qd.degraded  # ...but honestly flagged the imbalance
+        assert len(detected) == 1
+
+    def test_lost_detector_replies_trip_the_watchdog(self):
+        # Everything inter-node vanishes forever, detector traffic
+        # included: waves stall, the watchdog strikes out, and the
+        # detector still terminates (degraded).
+        blackhole = FaultPlan(
+            windows=(FaultWindow(0.0, FOREVER, "drop", magnitude=1.0),)
+        )
+        rt, qd, detected, _ = build_lossy_app(blackhole, wire_losses=True)
+        rt.run(max_events=1_000_000)
+        assert qd.detected
+        assert qd.degraded
+        assert len(detected) == 1
+
+    def test_clean_run_verdict_is_not_degraded(self):
+        rt, qd, detected, _ = build_lossy_app(None, wire_losses=False)
+        assert rt.faults is None
+        rt.run(max_events=1_000_000)
+        assert qd.detected
+        assert not qd.degraded
+
+
+class TestQDCounterLoss:
+    def test_lost_items_balance_the_counter(self):
+        qd = QDCounter()
+        qd.produce(10)
+        qd.consume(7)
+        assert not qd.balanced
+        assert qd.outstanding == 3
+        qd.note_lost(3)
+        assert qd.balanced
+        assert qd.outstanding == 0
+        assert qd.lost == 3
+
+    def test_require_balanced_reports_loss(self):
+        qd = QDCounter()
+        qd.produce(5)
+        qd.consume(5)
+        qd.require_balanced()  # no raise

@@ -83,3 +83,88 @@ class TestTransmission:
         engine.after(1.0, check)
         engine.run()
         assert src.tx_backlog_ns == 0.0  # drained at the end
+
+
+class TestAsymmetricRxCosts:
+    def test_receive_uses_rx_occupancy(self):
+        costs = CostModel().replace(rx_nic_msg_ns=5_000.0, rx_beta_ns_per_byte=1.0)
+        engine, costs, src, dst, delivered = make_pair(costs)
+        engine.after(0.0, src.inject, msg(size=1000), dst, 500.0)
+        engine.run()
+        expected = (
+            costs.tx_occupancy_ns(1000) + 500.0 + costs.rx_occupancy_ns(1000)
+        )
+        assert delivered[0][0] == pytest.approx(expected)
+        assert costs.rx_occupancy_ns(1000) != costs.tx_occupancy_ns(1000)
+
+    def test_rx_defaults_mirror_tx(self):
+        costs = CostModel()
+        assert costs.rx_occupancy_ns(4096) == costs.tx_occupancy_ns(4096)
+
+
+class TestBurstInjection:
+    """Same-timestamp bursts: the virtual-clock FIFO must charge exact
+    cumulative queue waits on both sides."""
+
+    N = 5
+
+    def test_tx_queue_wait_is_exact_for_same_time_burst(self):
+        engine, costs, src, dst, delivered = make_pair()
+        for _ in range(self.N):
+            engine.after(0.0, src.inject, msg(size=10_000), dst, 0.0)
+        engine.run()
+        occ = costs.tx_occupancy_ns(10_000)
+        # Message i waits i occupancies: 0 + 1 + ... + (N-1).
+        expected = occ * self.N * (self.N - 1) / 2
+        assert src.stats.tx_queue_wait_ns == pytest.approx(expected)
+        assert len(delivered) == self.N
+
+    def test_rx_queue_wait_is_exact_for_simultaneous_arrivals(self):
+        # N sources inject at the same instant towards one destination:
+        # tx sides are independent, so all copies hit rx simultaneously
+        # and the rx server charges the same arithmetic-series wait.
+        engine = Engine()
+        costs = CostModel()
+        dst = Nic(engine=engine, costs=costs, node_id=99)
+        delivered = []
+        dst.sink = lambda m: delivered.append(engine.now)
+        for i in range(self.N):
+            src = Nic(engine=engine, costs=costs, node_id=i)
+            engine.after(0.0, src.inject, msg(size=10_000), dst, 0.0)
+        engine.run()
+        occ = costs.rx_occupancy_ns(10_000)
+        expected = occ * self.N * (self.N - 1) / 2
+        assert dst.stats.rx_queue_wait_ns == pytest.approx(expected)
+        # Deliveries drain one rx occupancy apart.
+        gaps = [b - a for a, b in zip(delivered, delivered[1:])]
+        assert gaps == pytest.approx([occ] * (self.N - 1))
+
+    def test_rx_backlog_during_burst(self):
+        engine = Engine()
+        costs = CostModel()
+        dst = Nic(engine=engine, costs=costs, node_id=99)
+        dst.sink = lambda m: None
+        for i in range(3):
+            src = Nic(engine=engine, costs=costs, node_id=i)
+            engine.after(0.0, src.inject, msg(size=100_000), dst, 0.0)
+
+        probed = []
+
+        def probe():
+            probed.append(dst.rx_backlog_ns)
+
+        # Probe right after the burst lands at rx (tx occupancy later).
+        engine.after(costs.tx_occupancy_ns(100_000) + 1.0, probe)
+        engine.run()
+        assert probed[0] > 0.0
+        assert dst.rx_backlog_ns == 0.0  # drained at the end
+
+    def test_queue_wait_zero_when_spaced_out(self):
+        engine, costs, src, dst, _ = make_pair()
+        occ = costs.tx_occupancy_ns(1000)
+        for i in range(3):
+            # Inject strictly after the previous message finished tx.
+            engine.after(i * (occ + 10.0), src.inject, msg(size=1000), dst, 0.0)
+        engine.run()
+        assert src.stats.tx_queue_wait_ns == 0.0
+        assert dst.stats.rx_queue_wait_ns == 0.0

@@ -145,6 +145,46 @@ class TestStatsAndErrors:
         with pytest.raises(DeliveryError):
             rt.run()
 
+    @pytest.mark.parametrize("bad_worker", [-1, 10_000])
+    def test_bad_destination_worker(self, make_rt, bad_worker):
+        rt = make_rt()
+
+        def task(ctx):
+            ctx.emit(
+                rt.transport.send,
+                NetMessage(
+                    kind="x", src_worker=0, dst_process=0,
+                    dst_worker=bad_worker, size_bytes=1,
+                ),
+            )
+
+        rt.post(0, task)
+        with pytest.raises(DeliveryError, match="destination worker"):
+            rt.run()
+
+    def test_none_dst_worker_is_valid(self, make_rt):
+        # ``None`` means "any worker in the process" (round-robin pick),
+        # not an addressing error.
+        rt = make_rt()
+        hits = []
+        rt.register_handler(
+            "t.any", lambda ctx, msg: hits.append(ctx.worker.wid), overwrite=True
+        )
+
+        def task(ctx):
+            ctx.emit(
+                rt.transport.send,
+                NetMessage(
+                    kind="t.any", src_worker=0,
+                    dst_process=rt.machine.total_processes - 1,
+                    size_bytes=1,
+                ),
+            )
+
+        rt.post(0, task)
+        rt.run()
+        assert len(hits) == 1
+
     def test_unregistered_kind_raises(self, make_rt):
         rt = make_rt()
 
