@@ -1,0 +1,94 @@
+"""Guard: disabled flow control must stay off the hot path.
+
+The flow subsystem is gated on a single ``rt.flow is None`` check per
+message in the transport — a :class:`FlowConfig` with ``enabled=False``
+never builds the controller, so a run declared with disabled flow
+control must cost the same as one built with no flow argument at all.
+This bench times both interleaved and asserts the disabled-config run
+is within 5% of baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.flow import FlowConfig
+from repro.machine import MachineConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2,
+                        workers_per_process=4)
+ROUNDS = 20
+ITEMS_PER_ROUND = 1000
+REPEATS = 5
+MAX_RATIO = 1.05
+
+
+def _run(flow):
+    rt = RuntimeSystem(MACHINE, seed=0, flow=flow)
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=64),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx, remaining):
+        rng = rt.rng.stream(f"flw/{ctx.worker.wid}")
+        counts = np.bincount(
+            rng.integers(0, W, ITEMS_PER_ROUND), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        if remaining:
+            ctx.emit(ctx.worker.post_task, driver, remaining - 1)
+        else:
+            tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver, ROUNDS)
+    rt.run()
+    return rt, tram.stats.items_delivered
+
+
+def _time(flow):
+    start = time.perf_counter()
+    rt, delivered = _run(flow)
+    elapsed = time.perf_counter() - start
+    assert delivered == MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+    # A disabled config must reduce to the None fast path, not merely
+    # run with infinite caps.
+    assert rt.flow is None
+    return elapsed
+
+
+def test_disabled_flow_is_free():
+    # Interleave the two variants and take each one's best-of-N so a
+    # transient stall on either side cannot fake (or hide) a regression.
+    baseline, disabled = [], []
+    _time(None)  # warm imports / allocator before the timed repeats
+    for _ in range(REPEATS):
+        baseline.append(_time(None))
+        disabled.append(_time(FlowConfig(enabled=False)))
+    ratio = min(disabled) / min(baseline)
+    assert ratio < MAX_RATIO, (
+        f"disabled flow control costs {ratio:.3f}x baseline "
+        f"(limit {MAX_RATIO}x)"
+    )
+
+
+def test_enabled_flow_actually_gates():
+    """Sanity: the same workload under tiny caps parks yet loses nothing."""
+    rt, delivered = _run(
+        FlowConfig(ct_max_msgs=2, ct_max_bytes=4096,
+                   nic_max_msgs=2, nic_max_bytes=4096)
+    )
+    assert delivered == MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+    assert rt.flow is not None
+    assert rt.flow.stats.messages_parked > 0
+    for gate in rt.flow.gates():
+        assert gate.hwm_msgs <= gate.max_msgs
+        assert not gate.parked
+    cons = rt.flow.conservation()
+    assert cons["balanced"] is True
+    assert cons["shed"] == 0

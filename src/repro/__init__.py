@@ -16,6 +16,9 @@ The package provides:
 * :mod:`repro.faults` — seeded fault injection (message drop / dup /
   corrupt / reorder, NIC degradation, comm-thread stalls) paired with
   the runtime's ack/retransmit reliable-delivery layer;
+* :mod:`repro.flow` — credit-based flow control: bounded comm-thread /
+  NIC occupancy, backpressure into TramLib source buffers, overload
+  escalation and (opt-in) per-destination load shedding;
 * :mod:`repro.analysis` — the paper's §III-C closed-form cost analysis;
 * :mod:`repro.apps` — PingAck, histogram, index-gather, SSSP and PHOLD;
 * :mod:`repro.harness` — per-figure experiment harness and CLI.
@@ -33,6 +36,7 @@ from repro.errors import (
     ConfigError,
     DeliveryError,
     FaultInjectionError,
+    FlowControlError,
     HarnessError,
     QuiescenceError,
     ReproError,
@@ -41,6 +45,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.faults import FaultPlan, FaultSession, FaultWindow
+from repro.flow import FlowConfig, FlowSession
 from repro.machine import (
     CostModel,
     MachineConfig,
@@ -72,6 +77,9 @@ __all__ = [
     "FaultPlan",
     "FaultSession",
     "FaultWindow",
+    "FlowConfig",
+    "FlowControlError",
+    "FlowSession",
     "HarnessError",
     "MS",
     "MachineConfig",

@@ -40,6 +40,15 @@ class FaultInjectionError(ConfigError):
     """
 
 
+class FlowControlError(ConfigError):
+    """A flow-control configuration or ``--flow`` spec was invalid.
+
+    Raised when constructing a :class:`repro.flow.FlowConfig` (non-positive
+    credit caps, inverted overload thresholds) or when parsing a
+    declarative flow spec string.
+    """
+
+
 class RetryExhaustedError(DeliveryError):
     """Reliable delivery gave up on a message after its retry budget.
 

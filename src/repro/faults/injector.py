@@ -166,6 +166,15 @@ class FaultInjector:
                     until = w.t_end
         return until
 
+    def stall_remaining_ns(self, pid: int, now: float) -> float:
+        """Remaining scripted ``ct_stall`` time for ``pid`` at ``now``.
+
+        Zero outside any window. The flow controller folds this into a
+        comm thread's effective pressure so a stalled-but-empty server
+        still registers as congested.
+        """
+        return self.ct_stall_until(pid, now) - now
+
     def has_wire_faults(self) -> bool:
         """Whether any wire-level dice can ever come up non-trivial."""
         if any(getattr(self.plan, k) > 0.0 for k in WIRE_KINDS):

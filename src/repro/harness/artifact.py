@@ -178,8 +178,44 @@ def _check_run(prefix: str, run: Any, errors: List[str]) -> None:
             errors.append(f"{prefix}: utilization is not an object")
         elif "bottleneck" not in util:
             errors.append(f"{prefix}: utilization missing 'bottleneck'")
+    _check_flow(prefix, run, errors)
     for i, scheme in enumerate(run.get("schemes") or ()):
         _check_scheme(f"{prefix}.schemes[{i}]", scheme, errors)
+
+
+def _check_flow(prefix: str, run: dict, errors: List[str]) -> None:
+    """Flow-controlled runs must carry a closable conservation ledger
+    and the ``flow.*`` registry metrics."""
+    flow = run.get("flow")
+    if flow is None:
+        return
+    if not isinstance(flow, dict):
+        errors.append(f"{prefix}: flow is not an object")
+        return
+    for key in ("stats", "gates", "conservation"):
+        if key not in flow:
+            errors.append(f"{prefix}: flow missing {key!r}")
+    cons = flow.get("conservation")
+    if isinstance(cons, dict):
+        if cons.get("balanced") is False:
+            errors.append(
+                f"{prefix}: flow conservation violated "
+                f"(produced={cons.get('produced')}, "
+                f"delivered={cons.get('delivered')}, "
+                f"shed={cons.get('shed')}, lost={cons.get('lost')}, "
+                f"abandoned={cons.get('abandoned')}, "
+                f"buffered={cons.get('buffered')}, "
+                f"parked={cons.get('parked')})"
+            )
+        if cons.get("parked"):
+            errors.append(
+                f"{prefix}: {cons['parked']} item(s) still parked at "
+                f"credit gates after quiescence"
+            )
+    metrics = run.get("metrics")
+    names = metrics.get("metrics", {}) if isinstance(metrics, dict) else {}
+    if "flow.items_shed" not in names:
+        errors.append(f"{prefix}: flow active but flow.* metrics missing")
 
 
 def validate_metrics_payload(payload: Any) -> List[str]:

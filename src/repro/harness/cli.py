@@ -76,6 +76,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "'drop=0.01,dup=0.005,corrupt=0.001,reorder=0.02'"
         ),
     )
+    parser.add_argument(
+        "--flow",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run figures under credit-based flow control (bounded "
+            "comm-thread/NIC occupancy, backpressure, overload "
+            "escalation); SPEC is comma-separated key=value pairs, e.g. "
+            "'ct_msgs=64,ct_bytes=1048576,overload=200000,shed=2000000'"
+        ),
+    )
     return parser
 
 
@@ -85,13 +96,18 @@ def _run_one(
     out: Optional[Path],
     metrics_out: Optional[Path] = None,
     faults: Optional[str] = None,
+    flow: Optional[str] = None,
 ) -> None:
     t0 = time.perf_counter()
-    data = run_figure(fig_id, profile, metrics_path=metrics_out, faults=faults)
+    data = run_figure(
+        fig_id, profile, metrics_path=metrics_out, faults=faults, flow=flow
+    )
     elapsed = time.perf_counter() - t0
     report = data.render()
     print(report)
     suffix = f" under faults '{faults}'" if faults else ""
+    if flow:
+        suffix += f" with flow control '{flow}'"
     print(f"[{fig_id} regenerated in {elapsed:.1f}s wall{suffix}]")
     if metrics_out is not None:
         print(f"[metrics artifact written to {metrics_out}]")
@@ -139,6 +155,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except FaultInjectionError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if getattr(args, "flow", None) is not None:
+        from repro.errors import FlowControlError
+        from repro.flow import FlowConfig
+
+        try:
+            FlowConfig.parse(args.flow)
+        except FlowControlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.target == "list":
         width = max(len(k) for k in FIGURES)
         for fig_id, (_, desc) in FIGURES.items():
@@ -153,7 +178,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.metrics_out is not None
                 else None
             )
-            _run_one(fig_id, args.profile, args.out, metrics_out, args.faults)
+            _run_one(
+                fig_id, args.profile, args.out, metrics_out, args.faults,
+                args.flow,
+            )
         return 0
     if args.target == "validate":
         from repro.harness.validate import render_results, validate_reproduction
@@ -179,7 +207,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    _run_one(args.target, args.profile, args.out, args.metrics_out, args.faults)
+    _run_one(
+        args.target, args.profile, args.out, args.metrics_out, args.faults,
+        args.flow,
+    )
     return 0
 
 

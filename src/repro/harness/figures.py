@@ -590,7 +590,8 @@ FIGURES: Dict[str, Tuple[Callable[[str], FigureData], str]] = {
 
 
 def run_figure(
-    fig_id: str, profile: str = "paper", metrics_path=None, faults=None
+    fig_id: str, profile: str = "paper", metrics_path=None, faults=None,
+    flow=None,
 ) -> FigureData:
     """Run one registered experiment by id.
 
@@ -604,6 +605,11 @@ def run_figure(
     runs inside a :class:`~repro.faults.FaultSession`: every simulation
     gets seeded fault injection plus the reliable-delivery layer, so the
     figure exercises the degraded data path end to end.
+
+    With ``flow`` set (a :class:`~repro.flow.FlowConfig` or a spec
+    string for :meth:`~repro.flow.FlowConfig.parse`), every simulation
+    runs with credit-based flow control: bounded comm-thread/NIC
+    occupancy, source backpressure and overload escalation.
     """
     try:
         fn, _ = FIGURES[fig_id]
@@ -618,15 +624,23 @@ def run_figure(
         plan = faults if isinstance(faults, FaultPlan) else FaultPlan.parse(faults)
         if plan.is_noop():
             plan = None
-    if metrics_path is None and plan is None:
+    fcfg = None
+    if flow is not None:
+        from repro.flow import FlowConfig
+
+        fcfg = flow if isinstance(flow, FlowConfig) else FlowConfig.parse(flow)
+        if not fcfg.enabled:
+            fcfg = None
+    if metrics_path is None and plan is None and fcfg is None:
         return fn(profile)
 
     from contextlib import ExitStack
 
     # The shared sweeps memoize results; a cached hit would run no
-    # simulations inside the session (empty artifact / no faults
-    # applied), and a result computed under faults must not leak into
-    # later fault-free invocations.
+    # simulations inside the session (empty artifact / no faults or
+    # backpressure applied), and a result computed under a degraded or
+    # flow-controlled data path must not leak into later clean
+    # invocations.
     _ig_sweep.cache_clear()
     _sssp_sweep.cache_clear()
     session = None
@@ -636,13 +650,17 @@ def run_figure(
                 from repro.faults import FaultSession
 
                 stack.enter_context(FaultSession(plan))
+            if fcfg is not None:
+                from repro.flow import FlowSession
+
+                stack.enter_context(FlowSession(fcfg))
             if metrics_path is not None:
                 from repro.obs import ObsConfig, ObsSession
 
                 session = stack.enter_context(ObsSession(ObsConfig()))
             data = fn(profile)
     finally:
-        if plan is not None:
+        if plan is not None or fcfg is not None:
             _ig_sweep.cache_clear()
             _sssp_sweep.cache_clear()
     if metrics_path is not None:
@@ -650,12 +668,17 @@ def run_figure(
 
         from repro.harness.artifact import build_metrics_payload, write_metrics_json
 
+        extra = {}
+        if plan is not None:
+            extra["faults"] = asdict(plan)
+        if fcfg is not None:
+            extra["flow"] = asdict(fcfg)
         payload = build_metrics_payload(
             target=fig_id,
             profile=profile,
             runs=session.records,
             figure=data,
-            extra_config={"faults": asdict(plan)} if plan is not None else None,
+            extra_config=extra or None,
         )
         write_metrics_json(metrics_path, payload)
     return data

@@ -37,6 +37,11 @@ class UtilizationReport:
     commthread_queue_wait_ns: float
     #: Total simulated ns messages spent queued behind NICs.
     nic_queue_wait_ns: float
+    #: Worst booked-ahead horizon any comm thread reached (0.0 in
+    #: non-SMP mode) — overload shows up here even with flow control off.
+    commthread_max_backlog_ns: float = 0.0
+    #: Largest PE-side receive-queue occupancy any worker reached.
+    worker_queued_bytes_hwm: int = 0
 
     def bottleneck(self) -> str:
         """Name the most-utilized component class."""
@@ -47,6 +52,16 @@ class UtilizationReport:
             "nic_rx": self.nic_rx_mean,
         }
         return max(candidates, key=candidates.get)
+
+    def bottleneck_detail(self) -> str:
+        """The verdict plus the high-water backlog behind it."""
+        verdict = self.bottleneck()
+        if verdict == "commthreads" and self.commthread_max_backlog_ns > 0:
+            return (
+                f"{verdict} (max backlog "
+                f"{self.commthread_max_backlog_ns:,.0f} ns)"
+            )
+        return verdict
 
     def to_dict(self) -> dict:
         """All fields as a plain dict (JSON-serializable)."""
@@ -64,6 +79,10 @@ class UtilizationReport:
              f"{self.commthread_queue_wait_ns:,.0f}", ""],
             ["NIC queue wait (total ns)",
              f"{self.nic_queue_wait_ns:,.0f}", ""],
+            ["comm-thread max backlog (ns)",
+             f"{self.commthread_max_backlog_ns:,.0f}", ""],
+            ["worker queued bytes (high-water)",
+             f"{self.worker_queued_bytes_hwm:,}", ""],
         ]
         return render_table(["component", "mean", "max"], rows)
 
@@ -83,11 +102,14 @@ def utilization(rt: "RuntimeSystem") -> UtilizationReport:
 
     ct_fracs: List[float] = []
     ct_wait = 0.0
+    ct_backlog = 0.0
     for proc in rt.processes:
         ct = proc.commthread
         if ct is not None:
             ct_fracs.append(ct.stats.busy_ns / total)
             ct_wait += ct.stats.queue_wait_ns
+            if ct.stats.max_backlog_ns > ct_backlog:
+                ct_backlog = ct.stats.max_backlog_ns
 
     costs = rt.costs
     tx_fracs, rx_fracs = [], []
@@ -119,4 +141,8 @@ def utilization(rt: "RuntimeSystem") -> UtilizationReport:
         nic_rx_mean=mean(rx_fracs),
         commthread_queue_wait_ns=ct_wait,
         nic_queue_wait_ns=nic_wait,
+        commthread_max_backlog_ns=ct_backlog,
+        worker_queued_bytes_hwm=max(
+            (w.stats.queued_bytes_hwm for w in rt.workers), default=0
+        ),
     )

@@ -69,6 +69,7 @@ def run_sweep(
     seeds: Sequence[int] = (0,),
     metric: str = "value",
     metrics_path=None,
+    flow=None,
 ) -> SweepResult:
     """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
 
@@ -86,6 +87,10 @@ def run_sweep(
         :class:`~repro.obs.config.ObsSession` and write the
         schema-versioned JSON artifact there (per-run snapshots with
         stage breakdowns; see :mod:`repro.harness.artifact`).
+    flow:
+        Optional :class:`~repro.flow.FlowConfig` (or spec string for
+        :meth:`~repro.flow.FlowConfig.parse`): run every cell with
+        credit-based flow control active.
 
     Examples
     --------
@@ -101,28 +106,47 @@ def run_sweep(
     names = list(axes)
     result = SweepResult(axes=dict(axes), metric=metric)
 
+    fcfg = None
+    if flow is not None:
+        from repro.flow import FlowConfig
+
+        fcfg = flow if isinstance(flow, FlowConfig) else FlowConfig.parse(flow)
+        if not fcfg.enabled:
+            fcfg = None
+
     def _grid() -> None:
-        for combo in itertools.product(*(axes[n] for n in names)):
-            params = dict(zip(names, combo))
-            values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
-            result.cells.append(SweepCell(params=params, values=values))
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            if fcfg is not None:
+                from repro.flow import FlowSession
+
+                stack.enter_context(FlowSession(fcfg))
+            for combo in itertools.product(*(axes[n] for n in names)):
+                params = dict(zip(names, combo))
+                values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
+                result.cells.append(SweepCell(params=params, values=values))
 
     if metrics_path is None:
         _grid()
         return result
+
+    from dataclasses import asdict as _asdict
 
     from repro.harness.artifact import build_metrics_payload, write_metrics_json
     from repro.obs import ObsConfig, ObsSession
 
     with ObsSession(ObsConfig()) as session:
         _grid()
+    extra = {"axes": {n: list(axes[n]) for n in names}, "seeds": list(seeds)}
+    if fcfg is not None:
+        extra["flow"] = _asdict(fcfg)
     payload = build_metrics_payload(
         target=f"sweep:{metric}",
         profile="custom",
         runs=session.records,
         sweep=result,
-        extra_config={"axes": {n: list(axes[n]) for n in names},
-                      "seeds": list(seeds)},
+        extra_config=extra,
     )
     write_metrics_json(metrics_path, payload)
     return result

@@ -128,6 +128,7 @@ _TRAM_COUNTERS = (
     ("degraded_destinations", "processes"),
     ("direct_fallback_sends", "items"),
     ("flush_escalations", "escalations"),
+    ("overload_escalations", "escalations"),
 )
 
 _FAULT_COUNTERS = (
@@ -155,6 +156,18 @@ _RELIABILITY_COUNTERS = (
     ("stale_discarded", "messages"),
 )
 
+_FLOW_COUNTERS = (
+    ("messages_admitted", "messages"),
+    ("messages_parked", "messages"),
+    ("messages_shed", "messages"),
+    ("items_shed", "items"),
+    ("bytes_shed", "bytes"),
+    ("source_stalls", "stalls"),
+    ("flush_deferrals", "flushes"),
+    ("overload_escalations", "escalations"),
+    ("overload_clears", "escalations"),
+)
+
 _UTIL_GAUGES = (
     "worker_mean",
     "worker_max",
@@ -164,7 +177,17 @@ _UTIL_GAUGES = (
     "nic_rx_mean",
     "commthread_queue_wait_ns",
     "nic_queue_wait_ns",
+    "commthread_max_backlog_ns",
+    "worker_queued_bytes_hwm",
 )
+
+
+def _util_unit(fname: str) -> str:
+    if fname.endswith("_ns"):
+        return "ns"
+    if "bytes" in fname:
+        return "bytes"
+    return "fraction"
 
 
 def _utilization_reader(rt: Any) -> Callable[[], Any]:
@@ -206,6 +229,13 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
               lambda: sum(s.busy_ns for s in ws), unit="ns")
     reg.gauge("workers.busy_ns_max",
               lambda: max((s.busy_ns for s in ws), default=0.0), unit="ns")
+    reg.gauge("workers.queued_bytes",
+              lambda: sum(s.queued_bytes for s in ws), unit="bytes",
+              help="bytes of received messages not yet handled")
+    reg.gauge("workers.queued_bytes_hwm",
+              lambda: max((s.queued_bytes_hwm for s in ws), default=0),
+              unit="bytes",
+              help="largest PE receive-queue occupancy any worker reached")
 
     cts = [p.commthread.stats for p in rt.processes if p.commthread is not None]
     reg.counter("commthreads.out_messages",
@@ -216,6 +246,10 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
               lambda: sum(s.busy_ns for s in cts), unit="ns")
     reg.gauge("commthreads.queue_wait_ns_total",
               lambda: sum(s.queue_wait_ns for s in cts), unit="ns")
+    reg.gauge("commthreads.max_backlog_ns",
+              lambda: max((s.max_backlog_ns for s in cts), default=0.0),
+              unit="ns",
+              help="worst booked-ahead horizon any comm thread reached")
 
     nics = [nic.stats for node in rt.nodes for nic in node.nics]
     reg.counter("nics.tx_messages",
@@ -241,7 +275,7 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
 
     util = _utilization_reader(rt)
     for fname in _UTIL_GAUGES:
-        unit = "ns" if fname.endswith("_ns") else "fraction"
+        unit = _util_unit(fname)
         reg.gauge(f"utilization.{fname}",
                   lambda f=fname: getattr(util(), f, None)
                   if util() is not None else None,
@@ -268,6 +302,24 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
         reg.gauge("reliability.pending_messages",
                   lambda r=reliable: r.pending_count(), unit="messages",
                   help="sent but unacked messages at snapshot time")
+
+    flow = getattr(rt, "flow", None)
+    if flow is not None:
+        flstats = flow.stats
+        for fname, unit in _FLOW_COUNTERS:
+            reg.counter(f"flow.{fname}",
+                        lambda s=flstats, f=fname: getattr(s, f), unit=unit)
+        reg.gauge("flow.park_wait_ns", lambda s=flstats: s.park_wait_ns,
+                  unit="ns", help="total time messages spent parked at gates")
+        reg.gauge("flow.source_stall_ns",
+                  lambda s=flstats: s.source_stall_ns, unit="ns",
+                  help="CPU time charged to producers as backpressure")
+        reg.gauge("flow.parked_messages",
+                  lambda f=flow: f.parked_messages(), unit="messages",
+                  help="messages parked at gates at snapshot time")
+        reg.gauge("flow.overloaded",
+                  lambda f=flow: f.overloaded,
+                  help="whether the overload detector is escalated")
 
     for i, scheme in enumerate(getattr(rt, "schemes", ())):
         prefix = f"tram.{i}.{scheme.name}"

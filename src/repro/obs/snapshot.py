@@ -56,6 +56,7 @@ def _utilization_dict(rt: Any) -> Optional[dict]:
     report = utilization(rt)
     out = report.to_dict()
     out["bottleneck"] = report.bottleneck()
+    out["bottleneck_detail"] = report.bottleneck_detail()
     return out
 
 
@@ -73,6 +74,13 @@ def _reliability_dict(rt: Any) -> Optional[dict]:
     out = reliable.stats.to_dict()
     out["pending_messages"] = reliable.pending_count()
     return out
+
+
+def _flow_dict(rt: Any) -> Optional[dict]:
+    flow = getattr(rt, "flow", None)
+    if flow is None:
+        return None
+    return flow.to_dict()
 
 
 def run_snapshot(rt: Any) -> dict:
@@ -94,5 +102,6 @@ def run_snapshot(rt: Any) -> dict:
         "utilization": _utilization_dict(rt),
         "faults": _faults_dict(rt),
         "reliability": _reliability_dict(rt),
+        "flow": _flow_dict(rt),
         "metrics": registry_from_runtime(rt).to_json(),
     }

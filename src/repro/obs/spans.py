@@ -17,6 +17,10 @@ stage                     simulated time attributed
                           release of the retransmitted copy that was
                           finally delivered (reliability layer only;
                           accumulated in ``MsgSpan.retransmit_ns``)
+``bp_stall``              wait parked at a flow-control credit gate
+                          before the comm thread / NIC would accept the
+                          message (flow subsystem only; accumulated in
+                          ``MsgSpan.bp_stall_ns``)
 ``ct_queue``              queueing behind comm threads (both sides)
 ``ct_service``            comm-thread service (both sides)
 ``nic_tx_queue``          queueing behind the source NIC tx server
@@ -54,6 +58,7 @@ STAGES = (
     "src_buffer",
     "src_group",
     "retransmit",
+    "bp_stall",
     "ct_queue",
     "ct_service",
     "nic_tx_queue",
@@ -80,6 +85,7 @@ class MsgSpan:
     __slots__ = (
         "group_ns",
         "retransmit_ns",
+        "bp_stall_ns",
         "ct_queue_ns",
         "ct_service_ns",
         "nic_tx_queue_ns",
@@ -91,6 +97,7 @@ class MsgSpan:
     def __init__(self, group_ns: float = 0.0) -> None:
         self.group_ns = group_ns
         self.retransmit_ns = 0.0
+        self.bp_stall_ns = 0.0
         self.ct_queue_ns = 0.0
         self.ct_service_ns = 0.0
         self.nic_tx_queue_ns = 0.0
@@ -103,6 +110,7 @@ class MsgSpan:
         message, so each physical copy attributes its own transit."""
         c = MsgSpan(self.group_ns)
         c.retransmit_ns = self.retransmit_ns
+        c.bp_stall_ns = self.bp_stall_ns
         c.ct_queue_ns = self.ct_queue_ns
         c.ct_service_ns = self.ct_service_ns
         c.nic_tx_queue_ns = self.nic_tx_queue_ns
@@ -115,7 +123,8 @@ class MsgSpan:
         """Accumulated comm-thread/NIC/wire time (excludes grouping and
         the pre-release retransmit wait)."""
         return (
-            self.ct_queue_ns
+            self.bp_stall_ns
+            + self.ct_queue_ns
             + self.ct_service_ns
             + self.nic_tx_queue_ns
             + self.wire_ns

@@ -33,6 +33,10 @@ class CommThreadStats:
     in_messages: int = 0
     busy_ns: float = 0.0
     queue_wait_ns: float = 0.0
+    #: High-water mark of the server's booked-ahead horizon: the worst
+    #: backlog any single message observed on admission. Overload is
+    #: visible here even with flow control off.
+    max_backlog_ns: float = 0.0
 
 
 class CommThread:
@@ -74,6 +78,9 @@ class CommThread:
         self.stats.queue_wait_ns += start - now
         self._free = start + service
         self.stats.busy_ns += service
+        backlog = self._free - now
+        if backlog > self.stats.max_backlog_ns:
+            self.stats.max_backlog_ns = backlog
         span = msg.span
         if span is not None:
             span.ct_queue_ns += start - now

@@ -23,6 +23,9 @@ from repro.errors import ConfigError, DeliveryError
 from repro.faults.context import active_fault_session
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.flow.config import FlowConfig
+from repro.flow.context import active_flow_session
+from repro.flow.controller import FlowController
 from repro.machine.costs import CostModel
 from repro.machine.topology import MachineConfig
 from repro.network.fabric import Fabric
@@ -67,6 +70,12 @@ class RuntimeSystem:
         enabling the ack/retransmit layer. Defaults to the active fault
         session's config (enabled under a session, so faulty runs still
         deliver exactly once); ``None`` otherwise.
+    flow:
+        Optional :class:`~repro.flow.FlowConfig` enabling credit-based
+        flow control and overload protection. Defaults to the config of
+        the active :class:`~repro.flow.FlowSession`, if any; with
+        neither (or a disabled config) the pipeline is unbounded and
+        pays one ``is None`` check per message.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class RuntimeSystem:
         obs: Optional[ObsConfig] = None,
         faults: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        flow: Optional[FlowConfig] = None,
     ) -> None:
         session = active_session()
         if obs is None and session is not None:
@@ -135,6 +145,18 @@ class RuntimeSystem:
                 ct = CommThread(self, proc.pid)
                 ct.on_outbound_done = self.transport.after_commthread_out
                 proc.commthread = ct
+
+        flow_session = active_flow_session()
+        flow_cfg = flow
+        if flow_cfg is None and flow_session is not None:
+            flow_cfg = flow_session.config
+        if flow_cfg is not None and not flow_cfg.enabled:
+            flow_cfg = None
+        #: Flow controller, or ``None`` (the default, zero-cost case).
+        #: Built after nodes/comm threads so its gates can attach.
+        self.flow: Optional[FlowController] = (
+            FlowController(self, flow_cfg) if flow_cfg is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Component access
@@ -203,6 +225,8 @@ class RuntimeSystem:
             self.faults.on_loss = _on_loss
         if self.reliable is not None:
             self.reliable.on_loss = _on_loss
+        if self.flow is not None:
+            self.flow.on_loss = _on_loss
 
     # ------------------------------------------------------------------
     # Driving

@@ -92,7 +92,10 @@ class Transport:
         elif machine.smp:
             ct = rt.process(src_process).commthread
             assert ct is not None
-            ct.submit_outbound(msg)
+            if rt.flow is None:
+                ct.submit_outbound(msg)
+            else:
+                rt.flow.submit_ct(ct, msg)
         else:
             # Non-SMP: the worker already charged its own send service;
             # the message proceeds directly to the NIC / intra transport.
@@ -143,7 +146,10 @@ class Transport:
             src_nic = rt.node(src_node).nic_for_process(src_process)
             dst_nic = rt.node(dst_node).nic_for_process(msg.dst_process)
             latency = rt.fabric.latency_between_nodes(src_node, dst_node)
-            src_nic.inject(msg, dst_nic, latency)
+            if rt.flow is None:
+                src_nic.inject(msg, dst_nic, latency)
+            else:
+                rt.flow.submit_nic(src_nic, msg, dst_nic, latency)
 
     def on_nic_arrival(self, msg: NetMessage) -> None:
         """Sink installed on every NIC: message finished rx serialization."""

@@ -32,6 +32,10 @@ class WorkerStats:
     busy_ns: float = 0.0
     idle_transitions: int = 0
     messages_received: int = 0
+    #: Bytes of received messages whose handler has not yet run — the
+    #: PE-side queue occupancy byte-based credit schemes read.
+    queued_bytes: int = 0
+    queued_bytes_hwm: int = 0
 
 
 class Worker:
@@ -91,7 +95,11 @@ class Worker:
         ``extra_charge_ns`` is charged before the handler runs — used in
         non-SMP mode where the worker pays its own receive progress cost.
         """
-        self.stats.messages_received += 1
+        stats = self.stats
+        stats.messages_received += 1
+        stats.queued_bytes += msg.size_bytes
+        if stats.queued_bytes > stats.queued_bytes_hwm:
+            stats.queued_bytes_hwm = stats.queued_bytes
         span = msg.span
         if span is not None:
             span.pe_arrival = self.rt.engine.now
@@ -114,6 +122,7 @@ class Worker:
     def _run_message_handler(
         ctx: ExecContext, handler: Callable, msg: "NetMessage", extra_charge_ns: float
     ) -> None:
+        ctx.worker.stats.queued_bytes -= msg.size_bytes
         if extra_charge_ns:
             ctx.charge(extra_charge_ns)
         handler(ctx, msg)

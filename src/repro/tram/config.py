@@ -52,6 +52,15 @@ class TramConfig:
         sends, the scheme's flush timers escalate: the effective
         ``flush_timeout_ns`` is divided by this factor so items stop
         pooling behind a destination that has already proven lossy.
+    overload_flush_stretch:
+        When the flow controller's overload detector escalates, flush
+        timers *stretch* by this factor (fire less often) — the inverse
+        of the degraded escalation: overload wants less per-message
+        pressure on the comm thread, not faster flushing.
+    overload_buffer_growth:
+        Under the same escalation, the effective buffer capacity grows
+        by this factor, so full-buffer sends carry more items per
+        message while the overload lasts.
     """
 
     buffer_items: int = 1024
@@ -63,6 +72,8 @@ class TramConfig:
     priority_threshold: Optional[float] = None
     latency_sample: int = 0
     degraded_flush_divisor: float = 4.0
+    overload_flush_stretch: float = 4.0
+    overload_buffer_growth: float = 2.0
 
     def __post_init__(self) -> None:
         if self.buffer_items < 1:
@@ -77,6 +88,16 @@ class TramConfig:
             raise ConfigError(
                 f"degraded_flush_divisor must be >= 1, got "
                 f"{self.degraded_flush_divisor}"
+            )
+        if self.overload_flush_stretch < 1.0:
+            raise ConfigError(
+                f"overload_flush_stretch must be >= 1, got "
+                f"{self.overload_flush_stretch}"
+            )
+        if self.overload_buffer_growth < 1.0:
+            raise ConfigError(
+                f"overload_buffer_growth must be >= 1, got "
+                f"{self.overload_buffer_growth}"
             )
 
     def with_(self, **changes) -> "TramConfig":

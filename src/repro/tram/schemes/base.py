@@ -99,6 +99,11 @@ class SchemeBase:
         #: Flush-timer scale; drops below 1.0 when a destination
         #: degrades (see :meth:`on_destination_degraded`).
         self._flush_timeout_scale = 1.0
+        #: Overload escalation state (see :meth:`on_overload`): both
+        #: exactly 1.0 until the flow controller escalates, so default
+        #: arithmetic is unchanged bit for bit.
+        self._overload_flush_scale = 1.0
+        self._overload_capacity_mult = 1.0
         #: Allocated buffer bytes per owner (worker id, or ("p", pid) for
         #: shared process buffers) — drives the cache-footprint penalty.
         self._footprint: dict = {}
@@ -135,6 +140,13 @@ class SchemeBase:
             # bypass latency lands in the local_delivery stage.
             ctx.emit(self._post, dst, self._section_items_task, [item], ctx.now)
             return
+        flow = self.rt.flow
+        if flow is not None:
+            stall = flow.source_stall_ns(ctx)
+            if stall > 0.0:
+                # Backpressure: the producing task absorbs the wait as
+                # CPU time instead of the pipeline growing queues.
+                ctx.charge(stall)
         if self._degraded is not None and (
             machine.process_of_worker(src),
             machine.process_of_worker(dst),
@@ -185,8 +197,14 @@ class SchemeBase:
                 self.stats.items_bypassed_local += n_local
                 counts[lo:hi] = 0
                 total -= n_local
-        if total and self._degraded is not None:
-            total -= self._direct_fallback_bulk(ctx, src, counts)
+        if total:
+            flow = self.rt.flow
+            if flow is not None:
+                stall = flow.source_stall_ns(ctx)
+                if stall > 0.0:
+                    ctx.charge(stall)
+            if self._degraded is not None:
+                total -= self._direct_fallback_bulk(ctx, src, counts)
         if total:
             self._insert_bulk(ctx, src, counts, total)
 
@@ -271,6 +289,10 @@ class SchemeBase:
     def _drain_full(self, ctx, buf: Buffer) -> None:
         """Send as many full ``g``-item messages as the buffer holds."""
         g = self.config.buffer_items
+        if self._overload_capacity_mult != 1.0:
+            # Overload escalation: fewer, larger messages relieve the
+            # per-message comm-thread bottleneck (§III-A).
+            g = int(g * self._overload_capacity_mult)
         while buf.count >= g:
             self._send_chunk(ctx, buf, g, full=True)
 
@@ -361,6 +383,27 @@ class SchemeBase:
                     self._flush_task, expedited=self.config.expedited
                 )
 
+    # ==================================================================
+    # Overload escalation (flow-controller callbacks)
+    # ==================================================================
+    def on_overload(self) -> None:
+        """Flow-controller callback: the pipeline is congested.
+
+        Stretch flush timers (fire less often) and grow the effective
+        buffer capacity (fewer, larger messages) by the configured
+        factors until the overload clears. The inverse of the degraded
+        escalation: overload wants *less* message pressure, a lossy
+        channel wants items out *faster*.
+        """
+        self._overload_flush_scale = self.config.overload_flush_stretch
+        self._overload_capacity_mult = self.config.overload_buffer_growth
+        self.stats.overload_escalations += 1
+
+    def on_overload_cleared(self) -> None:
+        """Flow-controller callback: backlog drained; restore defaults."""
+        self._overload_flush_scale = 1.0
+        self._overload_capacity_mult = 1.0
+
     def _direct_fallback_item(self, ctx, item: Item) -> None:
         """Send one item straight to its destination PE, unaggregated."""
         self.stats.direct_fallback_sends += 1
@@ -410,7 +453,17 @@ class SchemeBase:
     # ==================================================================
     def _idle_hook(self, worker) -> None:
         if self._has_pending(worker.wid):
+            # While the source gate is blocked, register for a deferred
+            # flush instead of posting a task: a zero-cost flush task
+            # would re-trigger this hook at the same timestamp forever.
+            if self._defer_if_gated(worker.wid):
+                return
             worker.post_task(self._flush_task)
+
+    def _defer_if_gated(self, wid: int) -> bool:
+        """Whether a non-full flush should wait for send credits."""
+        flow = self.rt.flow
+        return flow is not None and flow.defer_flush(self, wid)
 
     def _flush_task(self, ctx) -> None:
         self._flush_worker(ctx, ctx.worker.wid)
@@ -419,10 +472,14 @@ class SchemeBase:
         timeout = self.config.flush_timeout_ns
         if timeout is None or buf.timer_event is not None or buf.empty:
             return
-        # Scale is exactly 1.0 until a destination degrades, so the
-        # default timer arithmetic is unchanged bit for bit.
+        # Scales are exactly 1.0 until a destination degrades or the
+        # flow controller escalates, so the default timer arithmetic is
+        # unchanged bit for bit.
         buf.timer_event = self.rt.engine.after(
-            timeout * self._flush_timeout_scale, self._timer_fire, buf, owner_wid
+            timeout * self._flush_timeout_scale * self._overload_flush_scale,
+            self._timer_fire,
+            buf,
+            owner_wid,
         )
 
     def _timer_fire(self, buf: Buffer, owner_wid: int) -> None:
@@ -431,8 +488,11 @@ class SchemeBase:
             self.rt.worker(owner_wid).post_task(self._flush_buffer_task, buf)
 
     def _flush_buffer_task(self, ctx, buf: Buffer) -> None:
-        if not buf.empty:
-            self._send_chunk(ctx, buf, buf.count, full=False)
+        if buf.empty:
+            return
+        if self._defer_if_gated(ctx.worker.wid):
+            return
+        self._send_chunk(ctx, buf, buf.count, full=False)
 
     def _maybe_priority_flush(self, ctx, buf: Buffer, item: Item) -> bool:
         """Priority-aware flushing (paper future work): urgent item ->
@@ -484,6 +544,8 @@ class SchemeBase:
         buffered = sent - t_sum / count - group_ns - retransmit_ns
         if buffered > 0.0:
             st.record("src_buffer", buffered, count)
+        if span.bp_stall_ns > 0.0:
+            st.record("bp_stall", span.bp_stall_ns, count)
         if span.ct_queue_ns > 0.0:
             st.record("ct_queue", span.ct_queue_ns, count)
         if span.ct_service_ns > 0.0:

@@ -292,6 +292,8 @@ class WNsScheme(SchemeBase):
     # Flush plumbing
     # ------------------------------------------------------------------
     def _flush_worker(self, ctx, wid: int) -> None:
+        if self._defer_if_gated(wid):
+            return
         for buf in self._by_worker[wid].values():
             if not buf.empty:
                 self._send_chunk(ctx, buf, buf.count, full=False)
@@ -391,6 +393,8 @@ class NNScheme(WNsScheme):
             self._flush_worker(ctx, ctx.worker.wid)
 
     def _flush_worker(self, ctx, wid: int) -> None:
+        if self._defer_if_gated(wid):
+            return
         node = self.rt.machine.node_of_worker(wid)
         for buf in self._by_node[node].values():
             if not buf.empty:

@@ -113,6 +113,8 @@ class PPScheme(SchemeBase):
 
     def _flush_worker(self, ctx, wid: int) -> None:
         """Flush the calling worker's *process* buffers (shared)."""
+        if self._defer_if_gated(wid):
+            return
         pid = self.rt.machine.process_of_worker(wid)
         for buf in self._proc_bufs(pid).values():
             if not buf.empty:

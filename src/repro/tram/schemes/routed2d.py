@@ -216,6 +216,8 @@ class Routed2DScheme(SchemeBase):
     # Flush plumbing
     # ------------------------------------------------------------------
     def _flush_worker(self, ctx, wid: int) -> None:
+        if self._defer_if_gated(wid):
+            return
         for hop, buf in self._by_worker[wid].items():
             if not buf.empty:
                 self._send_hop(ctx, buf, buf.count, hop, full=False)

@@ -77,6 +77,8 @@ class WPsScheme(SchemeBase):
             self._drain_full(ctx, buf)
 
     def _flush_worker(self, ctx, wid: int) -> None:
+        if self._defer_if_gated(wid):
+            return
         for buf in self._by_worker[wid].values():
             if not buf.empty:
                 self._send_chunk(ctx, buf, buf.count, full=False)

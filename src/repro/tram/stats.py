@@ -150,6 +150,9 @@ class TramStats:
     direct_fallback_sends: int = 0
     #: Flush-timer escalations performed when a destination degraded.
     flush_escalations: int = 0
+    #: Times the flow controller escalated this scheme (timer stretch +
+    #: buffer growth) because the pipeline was overloaded.
+    overload_escalations: int = 0
     latency: LatencyAggregate = field(default_factory=LatencyAggregate)
 
     @property
@@ -182,6 +185,7 @@ class TramStats:
             "degraded_destinations": self.degraded_destinations,
             "direct_fallback_sends": self.direct_fallback_sends,
             "flush_escalations": self.flush_escalations,
+            "overload_escalations": self.overload_escalations,
             "latency_p50_ns": self.latency.percentile(50),
             "latency_p99_ns": self.latency.percentile(99),
         }

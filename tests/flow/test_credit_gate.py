@@ -1,0 +1,92 @@
+"""CreditGate unit behavior: caps, parking FIFO, per-dest accounting."""
+
+from repro.flow.credit import CreditGate, ParkedMessage
+
+
+class _Msg:
+    def __init__(self, size=100):
+        self.size_bytes = size
+
+
+def _entry(dst=0, t=0.0, size=100):
+    return ParkedMessage(_Msg(size), lambda: None, dst, t)
+
+
+class TestAdmission:
+    def test_admits_under_both_caps(self):
+        gate = CreditGate("g", max_msgs=2, max_bytes=1000)
+        assert gate.can_admit(100)
+        gate.acquire(100)
+        assert gate.can_admit(100)
+        gate.acquire(100)
+        assert not gate.can_admit(100)  # message cap reached
+
+    def test_byte_cap_blocks(self):
+        gate = CreditGate("g", max_msgs=10, max_bytes=150)
+        gate.acquire(100)
+        assert not gate.can_admit(100)
+
+    def test_oversized_message_admitted_when_empty(self):
+        # Liveness: a message larger than the byte cap must not deadlock.
+        gate = CreditGate("g", max_msgs=4, max_bytes=64)
+        assert gate.can_admit(10_000)
+        gate.acquire(10_000)
+        assert not gate.can_admit(1)
+        gate.release(10_000)
+        assert gate.can_admit(10_000)
+
+    def test_release_restores_credits(self):
+        gate = CreditGate("g", max_msgs=1, max_bytes=1000)
+        gate.acquire(100)
+        assert gate.blocked
+        gate.release(100)
+        assert not gate.blocked
+        assert gate.in_flight_msgs == 0
+        assert gate.in_flight_bytes == 0
+
+    def test_high_water_marks(self):
+        gate = CreditGate("g", max_msgs=4, max_bytes=10_000)
+        gate.acquire(100)
+        gate.acquire(200)
+        gate.release(100)
+        gate.acquire(50)
+        assert gate.hwm_msgs == 2
+        assert gate.hwm_bytes == 300
+
+
+class TestParking:
+    def test_fifo_order(self):
+        gate = CreditGate("g", max_msgs=1, max_bytes=1000)
+        a, b = _entry(dst=0), _entry(dst=1)
+        gate.park(a)
+        gate.park(b)
+        assert gate.pop_parked() is a
+        assert gate.pop_parked() is b
+
+    def test_parked_makes_gate_blocked(self):
+        gate = CreditGate("g", max_msgs=4, max_bytes=1000)
+        assert not gate.blocked
+        gate.park(_entry())
+        assert gate.blocked
+
+    def test_per_dest_counts(self):
+        gate = CreditGate("g", max_msgs=1, max_bytes=1000)
+        gate.park(_entry(dst=0))
+        gate.park(_entry(dst=0))
+        gate.park(_entry(dst=3))
+        assert gate.parked_for(0) == 2
+        assert gate.parked_for(3) == 1
+        assert gate.parked_for(7) == 0
+        gate.pop_parked()
+        assert gate.parked_for(0) == 1
+        assert gate.hwm_parked == 3
+
+    def test_to_dict(self):
+        gate = CreditGate("ct:0", max_msgs=2, max_bytes=256)
+        gate.acquire(100)
+        gate.park(_entry())
+        d = gate.to_dict()
+        assert d["name"] == "ct:0"
+        assert d["in_flight_msgs"] == 1
+        assert d["parked"] == 1
+        assert d["hwm_msgs"] == 1

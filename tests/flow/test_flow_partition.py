@@ -1,0 +1,104 @@
+"""Stage-partition identity with ``bp_stall``, all schemes, under load.
+
+Every scheme on both machine shapes runs with tiny credit caps, the
+fault soup and the reliability layer at once: the non-handler stages —
+now including the ``bp_stall`` wait parked at a credit gate — must still
+sum exactly to the end-to-end latency total, and every item must arrive
+exactly once.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.flow import FlowConfig
+from repro.machine import MachineConfig, nonsmp_machine
+from repro.obs import ObsConfig
+from repro.obs.spans import STAGES
+from repro.runtime.reliability import ReliabilityConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import SCHEME_NAMES, TramConfig, make_scheme
+
+REL_TOL = 1e-6
+
+SOUP = FaultPlan(drop=0.05, dup=0.01, corrupt=0.005)
+REL = ReliabilityConfig(retransmit_timeout_ns=40_000.0, ack_delay_ns=1_000.0)
+FLOW = FlowConfig(
+    ct_max_msgs=2,
+    ct_max_bytes=2048,
+    nic_max_msgs=2,
+    nic_max_bytes=2048,
+    overload_backlog_ns=10_000.0,
+    clear_backlog_ns=2_000.0,
+)
+
+SMP = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+NONSMP = nonsmp_machine(2, ranks_per_node=4)
+
+
+def run_loaded(scheme, machine, faults=SOUP, reliability=REL, flow=FLOW):
+    rt = RuntimeSystem(
+        machine, seed=3, obs=ObsConfig(), faults=faults,
+        reliability=reliability, flow=flow,
+    )
+    tram = make_scheme(
+        scheme, rt,
+        TramConfig(buffer_items=16, idle_flush=True),
+        deliver_item=lambda ctx, it: None,
+    )
+    W = machine.total_workers
+
+    def driver(ctx):
+        rng = rt.rng.stream(f"flowsoup/{ctx.worker.wid}")
+        for _ in range(150):
+            tram.insert(ctx, dst=int(rng.integers(0, W)))
+
+    for w in range(W):
+        rt.post(w, driver)
+    rt.run(max_events=30_000_000)
+    return rt, tram
+
+
+def assert_partition(tram):
+    stages = tram.stages
+    assert stages is not None
+    assert set(stages.hists) == set(STAGES)
+    assert "bp_stall" in stages.hists
+    total = stages.total_ns(include_handler=False)
+    latency = tram.stats.latency.total
+    assert total == pytest.approx(latency, rel=REL_TOL)
+
+
+class TestFlowSoupPartition:
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    @pytest.mark.parametrize("machine", [SMP, NONSMP], ids=["smp", "nonsmp"])
+    def test_exactly_once_and_partition(self, scheme, machine):
+        rt, tram = run_loaded(scheme, machine)
+        st = tram.stats
+        assert st.items_delivered == st.items_inserted
+        assert st.pending_items == 0
+        assert rt.reliable.pending_count() == 0
+        # Both the fabric and the gates actually interfered.
+        fstats = rt.faults.stats
+        assert (
+            fstats.messages_dropped
+            + fstats.messages_duplicated
+            + fstats.messages_corrupted
+        ) > 0
+        assert rt.flow.stats.messages_parked > 0
+        assert_partition(tram)
+        cons = rt.flow.conservation()
+        assert cons["balanced"] is True
+        assert cons["parked"] == 0
+
+    def test_bp_stall_stage_populated_under_pressure(self):
+        rt, tram = run_loaded("WPs", SMP)
+        bp = tram.stages.hists["bp_stall"]
+        assert bp.count > 0
+        assert bp.total > 0.0
+
+    def test_clean_run_has_empty_bp_stall_stage(self):
+        rt, tram = run_loaded("WPs", SMP, faults=None, flow=None)
+        assert rt.flow is None
+        bp = tram.stages.hists["bp_stall"]
+        assert bp.count == 0
+        assert_partition(tram)
