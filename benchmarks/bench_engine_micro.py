@@ -27,6 +27,54 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(burn) == 50_001
 
 
+def test_engine_internal_event_throughput(benchmark):
+    """Same chain as above but via the no-validation ``call_after`` tier."""
+
+    def burn():
+        eng = Engine()
+        count = [0]
+
+        def tick(remaining):
+            count[0] += 1
+            if remaining:
+                eng.call_after(1.0, tick, (remaining - 1,))
+
+        eng.call_after(0.0, tick, (50_000,))
+        eng.run()
+        return count[0]
+
+    assert benchmark(burn) == 50_001
+
+
+def test_timer_churn_throughput(benchmark):
+    """Arm-then-cancel timeout timers (the wheel's bread and butter).
+
+    Models flush/retransmit timers that almost never fire: each step
+    arms 50 far-out timers and cancels them all before they expire.
+    """
+
+    def burn():
+        eng = Engine()
+        steps = [0]
+
+        def step(remaining):
+            steps[0] += 1
+            handles = [eng.timer_after(1000.0, _never) for _ in range(50)]
+            for h in handles:
+                eng.cancel(h)
+            if remaining:
+                eng.after(1.0, step, remaining - 1)
+
+        def _never():  # pragma: no cover - cancelled before firing
+            raise AssertionError("cancelled timer fired")
+
+        eng.after(0.0, step, 999)
+        eng.run()
+        return steps[0]
+
+    assert benchmark(burn) == 1000
+
+
 def test_transport_message_throughput(benchmark):
     machine = MachineConfig(nodes=2, processes_per_node=2,
                             workers_per_process=2)

@@ -183,7 +183,7 @@ class FlowController:
         # The credit returns when the comm thread would finish this
         # message's send service (the server is FIFO, so its post-booking
         # horizon is exactly that time).
-        self.rt.engine.at(ct._free, self._release, gate, msg.size_bytes)
+        self.rt.engine.timer_at(ct._free, self._release, gate, msg.size_bytes)
 
     def _admit_nic(
         self,
@@ -196,7 +196,7 @@ class FlowController:
         gate.acquire(msg.size_bytes)
         self.stats.messages_admitted += 1
         nic.inject(msg, dst_nic, wire_latency_ns)
-        self.rt.engine.at(nic._tx_free, self._release, gate, msg.size_bytes)
+        self.rt.engine.timer_at(nic._tx_free, self._release, gate, msg.size_bytes)
 
     # ------------------------------------------------------------------
     # Parking, shedding, release

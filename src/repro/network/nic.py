@@ -95,14 +95,14 @@ class Nic:
             if span is not None:
                 span.nic_tx_queue_ns += start - now
                 span.wire_ns += occupancy + wire_latency_ns
-            self.engine.at(arrival, dst_nic.receive, msg)
+            self.engine.call_at(arrival, dst_nic.receive, (msg,))
             return
         for copy, extra_ns in faults.wire_outcomes(msg, dst_nic.node_id, now):
             span = copy.span
             if span is not None:
                 span.nic_tx_queue_ns += start - now
                 span.wire_ns += occupancy + wire_latency_ns + extra_ns
-            self.engine.at(arrival + extra_ns, dst_nic.receive, copy)
+            self.engine.call_at(arrival + extra_ns, dst_nic.receive, (copy,))
 
     def receive(self, msg: NetMessage) -> None:
         """Serialize an arriving message through the rx side, then sink it."""
@@ -126,7 +126,7 @@ class Nic:
                 "msg", hop="nic_rx", node=self.node_id, msg_id=msg.msg_id,
                 start=start, dur=occupancy,
             )
-        self.engine.at(self._rx_free, self.sink, msg)
+        self.engine.call_at(self._rx_free, self.sink, (msg,))
 
     @property
     def tx_backlog_ns(self) -> float:

@@ -99,13 +99,13 @@ class CommThread:
             raise SimulationError(f"comm thread {self.pid}: no outbound hop installed")
         self.stats.out_messages += 1
         done = self._serve(msg, "ct_out")
-        self.rt.engine.at(done, self.on_outbound_done, msg)
+        self.rt.engine.call_at(done, self.on_outbound_done, (msg,))
 
     def submit_inbound(self, msg: NetMessage) -> None:
         """A message arrived for this process; deliver after service."""
         self.stats.in_messages += 1
         done = self._serve(msg, "ct_in")
-        self.rt.engine.at(done, self._deliver, msg)
+        self.rt.engine.call_at(done, self._deliver, (msg,))
 
     def _deliver(self, msg: NetMessage) -> None:
         rt = self.rt
@@ -117,7 +117,7 @@ class CommThread:
             wid = rt.process(self.pid).next_receiver()
         worker = rt.worker(wid)
         # Small enqueue hop from the comm thread into the PE's queue.
-        rt.engine.after(rt.costs.enqueue_ns, worker.deliver_message, msg)
+        rt.engine.call_after(rt.costs.enqueue_ns, worker.deliver_message, (msg,))
 
     @property
     def backlog_ns(self) -> float:

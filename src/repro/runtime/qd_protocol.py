@@ -133,7 +133,7 @@ class QuiescenceDetector:
         if self._started:
             raise ConfigError("detector already started")
         self._started = True
-        self.rt.engine.after(self.poll_interval_ns, self._begin_wave)
+        self.rt.engine.timer_after(self.poll_interval_ns, self._begin_wave)
 
     def _begin_wave(self) -> None:
         if self._done:
@@ -147,7 +147,7 @@ class QuiescenceDetector:
         # (including its own, uniformly, so costs are symmetric).
         self.rt.post(0, self._send_polls, expedited=True)
         if self.rt.faults is not None:
-            self._watchdog = self.rt.engine.after(
+            self._watchdog = self.rt.engine.timer_after(
                 self.WATCHDOG_FACTOR * self.poll_interval_ns, self._on_watchdog
             )
 
@@ -247,7 +247,7 @@ class QuiescenceDetector:
                 self._unbalanced_strikes = 0
             self._last_any_totals = totals
         self._last_totals = totals if balanced else None
-        self.rt.engine.after(self.poll_interval_ns, self._begin_wave)
+        self.rt.engine.timer_after(self.poll_interval_ns, self._begin_wave)
 
     # ------------------------------------------------------------------
     @property

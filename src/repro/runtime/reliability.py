@@ -250,7 +250,9 @@ class ReliableDelivery:
         self._maybe_piggyback(msg, src_process)
         entry = _Pending(msg=msg, first_send_time=self.rt.engine.now)
         ch.pending[msg.seq] = entry
-        entry.timer = self.rt.engine.after(
+        # Timer-wheel timeout: retransmit timers are almost always
+        # cancelled by the ack before they fire.
+        entry.timer = self.rt.engine.timer_after(
             self.config.retransmit_timeout_ns,
             self._on_timeout,
             src_process,
@@ -321,7 +323,7 @@ class ReliableDelivery:
     def _schedule_ack(self, pid: int, peer: int) -> None:
         rx = self._rx_state(pid, peer)
         if rx.ack_timer is None:
-            rx.ack_timer = self.rt.engine.after(
+            rx.ack_timer = self.rt.engine.timer_after(
                 self.config.ack_delay_ns, self._fire_ack, pid, peer
             )
 
@@ -403,7 +405,9 @@ class ReliableDelivery:
         timeout = self.config.retransmit_timeout_ns * (
             self.config.backoff_factor ** entry.attempt
         )
-        entry.timer = self.rt.engine.after(timeout, self._on_timeout, src, dst, seq)
+        entry.timer = self.rt.engine.timer_after(
+            timeout, self._on_timeout, src, dst, seq
+        )
 
     def _retransmit_copy(self, entry: _Pending) -> NetMessage:
         """Fresh physical copy; the span restarts with the wait charged

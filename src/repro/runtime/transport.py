@@ -120,8 +120,8 @@ class Transport:
         wid = msg.dst_worker
         if wid is None:
             wid = rt.process(msg.dst_process).next_receiver()
-        rt.engine.after(
-            rt.costs.enqueue_ns, rt.worker(wid).deliver_message, msg
+        rt.engine.call_after(
+            rt.costs.enqueue_ns, rt.worker(wid).deliver_message, (msg,)
         )
 
     def after_commthread_out(self, msg: NetMessage) -> None:
@@ -139,8 +139,8 @@ class Transport:
             # no NIC involvement.
             if msg.span is not None:
                 msg.span.wire_ns += rt.costs.alpha_intra_ns
-            rt.engine.after(
-                rt.costs.alpha_intra_ns, self._arrive_at_process, msg
+            rt.engine.call_after(
+                rt.costs.alpha_intra_ns, self._arrive_at_process, (msg,)
             )
         else:
             src_nic = rt.node(src_node).nic_for_process(src_process)

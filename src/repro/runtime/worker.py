@@ -154,12 +154,12 @@ class Worker:
         cost = ctx.cost * self._noise_mult
         finish = engine.now + cost
         for delay, efn, eargs in ctx._emissions:
-            engine.at(finish + delay, efn, *eargs)
+            engine.call_at(finish + delay, efn, eargs)
         self.stats.tasks_executed += 1
         self.stats.busy_ns += cost
         if self.task_hook is not None:
             self.task_hook(self, fn, ctx)
-        engine.at(finish, self._on_finish)
+        engine.call_at(finish, self._on_finish)
 
     def _on_finish(self) -> None:
         # _start_next observes _busy=True and either starts the next task

@@ -1,28 +1,58 @@
 """The discrete-event simulation engine.
 
-The engine owns the simulated clock and the event queue. Components
-schedule callbacks with :meth:`Engine.at` / :meth:`Engine.after`; the
-callbacks mutate component state and schedule further events. Running to
-event-queue exhaustion is the simulator's notion of *quiescence* — the
-applications in :mod:`repro.apps` are written so that a finished run
-drains naturally (flush timers are one-shot and conditional).
+The engine owns the simulated clock and two event sources it merges into
+one deterministic stream:
+
+* a binary heap (:class:`~repro.sim.queue.EventQueue`) for
+  precise-ordering events — the default for :meth:`Engine.at` /
+  :meth:`Engine.after` and the no-handle fast paths
+  :meth:`Engine.call_at` / :meth:`Engine.call_after`;
+* a hierarchical timer wheel (:class:`~repro.sim.wheel.TimerWheel`) for
+  timeout-class events armed through :meth:`Engine.timer_at` /
+  :meth:`Engine.timer_after` — flush timeouts, retransmit timers,
+  credit-release timers — which are cancelled far more often than they
+  fire and would otherwise bloat the heap with corpses.
+
+Running to event-queue exhaustion is the simulator's notion of
+*quiescence* — the applications in :mod:`repro.apps` are written so that
+a finished run drains naturally (flush timers are one-shot and
+conditional).
 
 Determinism
 -----------
 Two runs with the same configuration and seeds execute the identical
-event sequence: ties in firing time are broken by insertion order, and
-all randomness flows through :class:`repro.sim.rng.RngStreams`.
+event sequence: ties in firing time are broken by insertion order
+(``seq``), and all randomness flows through
+:class:`repro.sim.rng.RngStreams`. The wheel/heap split cannot reorder
+anything: both sources surface their earliest live event and the engine
+compares the two ``[time, seq, ...]`` lists directly, so the merged
+stream is the exact ``(time, seq)`` total order regardless of which
+structure an event waited in. ``tests/properties/test_prop_sim.py``
+pins this with a randomized heap-only-vs-wheel equivalence test.
+
+Events are plain lists (see :mod:`repro.sim.event`): slot 2 is the
+state, and the list itself is the cancellation handle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.event import Event
+from repro.sim.event import ST_CONSUMED, ST_PENDING, ST_POOLED, ST_WHEEL
 from repro.sim.queue import EventQueue
 from repro.sim.trace import Tracer
+from repro.sim.wheel import TimerWheel
+
+_heappush = heappush
+_heappop = heappop
+
+#: Upper bound on recycled event lists kept by the pool. Pooling only
+#: pays off once the heap is deep enough to outgrow CPython's internal
+#: list free-list; the cap bounds memory after a transient burst.
+POOL_CAP = 4096
 
 
 @dataclass
@@ -42,7 +72,6 @@ class RunStats:
         self.horizon_reached = self.horizon_reached or other.horizon_reached
 
 
-@dataclass
 class Engine:
     """Deterministic discrete-event engine.
 
@@ -53,18 +82,38 @@ class Engine:
         fired event is recorded (category ``"event"``).
     """
 
-    tracer: Optional[Tracer] = None
-    now: float = 0.0
-    _queue: EventQueue = field(default_factory=EventQueue, repr=False)
-    _seq: int = 0
-    _running: bool = False
-    _stop_requested: bool = False
+    __slots__ = (
+        "tracer",
+        "now",
+        "_queue",
+        "_wheel",
+        "_heap",
+        "_pool",
+        "_seq",
+        "_running",
+        "_stop_requested",
+    )
+
+    def __init__(self, tracer: Optional[Tracer] = None, now: float = 0.0) -> None:
+        self.tracer = tracer
+        self.now = now
+        self._queue = EventQueue()
+        self._wheel = TimerWheel()
+        #: Alias of the queue's heap list; EventQueue.compact() rebuilds
+        #: it in place so this alias never goes stale.
+        self._heap = self._queue._heap
+        self._pool: list = []
+        self._seq = 0
+        self._running = False
+        self._stop_requested = False
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling — precise-ordering heap
     # ------------------------------------------------------------------
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> list:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``.
+
+        Returns the event list, usable as a :meth:`cancel` handle.
 
         Raises
         ------
@@ -75,40 +124,123 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule at t={time} (now={self.now}): time is in the past"
             )
-        ev = Event(time, self._seq, fn, args)
-        self._seq += 1
-        self._queue.push(ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = [time, seq, ST_PENDING, fn, args]
+        _heappush(self._heap, ev)
         return ev
 
-    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
         """Schedule ``fn(*args)`` ``delay`` ns from the current time."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        return self.at(self.now + delay, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = [self.now + delay, seq, ST_PENDING, fn, args]
+        _heappush(self._heap, ev)
+        return ev
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event.
+    def call_at(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """No-handle fast path: like :meth:`at` but skips the past-time
+        check (callers pass times derived from ``now`` plus non-negative
+        costs) and returns nothing, so the event list can be recycled
+        through the pool after it fires. Use for internal fire-and-forget
+        scheduling on hot paths; anything that might be cancelled needs
+        :meth:`at` or :meth:`timer_at`."""
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev[0] = time
+            ev[1] = seq
+            ev[2] = ST_POOLED
+            ev[3] = fn
+            ev[4] = args
+        else:
+            ev = [time, seq, ST_POOLED, fn, args]
+        _heappush(self._heap, ev)
 
-        Safe no-op if the event already fired, was cancelled, or was
-        requeued past a run horizon (handles do not survive horizon
-        requeueing — the copy will still fire).
-        """
-        if event.alive:
-            event.cancel()
-            if event.in_queue:
-                self._queue.note_cancelled()
+    def call_after(self, delay: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+        """No-handle fast path twin of :meth:`after` (delay must be >= 0,
+        unchecked)."""
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev[0] = self.now + delay
+            ev[1] = seq
+            ev[2] = ST_POOLED
+            ev[3] = fn
+            ev[4] = args
+        else:
+            ev = [self.now + delay, seq, ST_POOLED, fn, args]
+        _heappush(self._heap, ev)
+
+    # ------------------------------------------------------------------
+    # Scheduling — timer wheel (timeout-class events)
+    # ------------------------------------------------------------------
+    def timer_at(self, time: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Arm a timeout at absolute time ``time``; O(1) arm and cancel.
+
+        Identical observable semantics to :meth:`at` — the wheel and the
+        heap are merged in exact ``(time, seq)`` order — but backed by
+        the timer wheel, which is the right home for events that are
+        usually cancelled before they fire."""
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} (now={self.now}): time is in the past"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        ev = [time, seq, ST_WHEEL, fn, args]
+        self._wheel.push(ev)
+        return ev
+
+    def timer_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Arm a timeout ``delay`` ns from now (see :meth:`timer_at`)."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        ev = [self.now + delay, seq, ST_WHEEL, fn, args]
+        self._wheel.push(ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, event: list) -> None:
+        """Cancel a scheduled event. O(1) amortized.
+
+        Safe no-op if the event already fired or was cancelled. Handles
+        stay valid across run horizons: :meth:`run` never removes an
+        event it does not fire, so a handle scheduled beyond ``until``
+        still cancels the real queued event."""
+        state = event[2]
+        if state == ST_PENDING or state == ST_POOLED:
+            self._queue.cancel(event)
+        elif state == ST_WHEEL:
+            self._wheel.cancel(event)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of live events waiting to fire."""
-        return self._queue.live_count
+        """Number of live events waiting to fire (heap + wheel)."""
+        return self._queue.live_count + self._wheel.live_count
 
     def peek_time(self) -> Optional[float]:
         """Firing time of the next live event, or ``None``."""
-        return self._queue.peek_time()
+        qt = self._queue.peek_time()
+        wt = self._wheel.peek_time()
+        if qt is None:
+            return wt
+        if wt is None:
+            return qt
+        return qt if qt <= wt else wt
 
     # ------------------------------------------------------------------
     # Running
@@ -125,7 +257,9 @@ class Engine:
         ----------
         until:
             If given, stop once the next event would fire strictly after
-            this time; the clock is advanced to ``until``.
+            this time; the clock is advanced to ``until``. The deferred
+            event is *not* popped — it simply stays queued, so its handle
+            remains valid and a later :meth:`run` call fires it.
         max_events:
             Safety valve for tests: abort with :class:`SimulationError`
             after this many events (catches accidental infinite loops).
@@ -140,42 +274,110 @@ class Engine:
         self._running = True
         self._stop_requested = False
         stats = RunStats()
-        queue = self._queue
-        tracer = self.tracer
         try:
-            while True:
-                if self._stop_requested:
-                    stats.stopped_early = True
-                    break
-                ev = queue.pop()
-                if ev is None:
-                    break
-                if until is not None and ev.time > until:
-                    # Put it back: it belongs to a later run() call.
-                    ev_copy = Event(ev.time, ev.seq, ev.fn, ev.args)
-                    queue.push(ev_copy)
-                    self.now = until
-                    stats.horizon_reached = True
-                    break
-                if ev.time < self.now:  # pragma: no cover - invariant guard
-                    raise SimulationError(
-                        f"time went backwards: event at {ev.time}, now {self.now}"
-                    )
-                self.now = ev.time
-                stats.events_fired += 1
-                if max_events is not None and stats.events_fired > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; probable runaway loop"
-                    )
-                if tracer is not None and tracer.wants("event"):
-                    tracer.record(
-                        "event", t=self.now, fn=getattr(ev.fn, "__qualname__", "?")
-                    )
-                ev.fn(*ev.args)
+            if until is None and max_events is None and self.tracer is None:
+                self._run_fast(stats)
+            else:
+                self._run_general(stats, until, max_events)
         finally:
             self._running = False
         stats.end_time = self.now
         return stats
+
+    def _run_fast(self, stats: RunStats) -> None:
+        """Unobserved full run: the simulator's hot loop."""
+        queue = self._queue
+        heap = self._heap
+        wheel = self._wheel
+        pool = self._pool
+        fired = 0
+        while not self._stop_requested:
+            if wheel._live:
+                wev = wheel.peek()
+                hev = queue.peek()
+                if hev is None or wev < hev:
+                    ev = wheel.pop()
+                else:
+                    ev = _heappop(heap)
+            else:
+                # Heap-only fast path: skim corpses inline.
+                while heap:
+                    ev = _heappop(heap)
+                    if ev[2]:
+                        break
+                    queue._corpses -= 1
+                else:
+                    break
+            state = ev[2]
+            self.now = ev[0]
+            fired += 1
+            ev[2] = ST_CONSUMED
+            ev[3](*ev[4])
+            if state == ST_POOLED and len(pool) < POOL_CAP:
+                pool.append(ev)
+        else:
+            stats.stopped_early = True
+        stats.events_fired = fired
+
+    def _run_general(
+        self, stats: RunStats, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """Run with horizon / max-events / tracing. Peeks before popping
+        so an event beyond the horizon is never removed — that is what
+        keeps cancel handles valid across successive horizons."""
+        queue = self._queue
+        heap = self._heap
+        wheel = self._wheel
+        pool = self._pool
+        tracer = self.tracer
+        fired = 0
+        while True:
+            if self._stop_requested:
+                stats.stopped_early = True
+                break
+            from_wheel = False
+            if wheel._live:
+                wev = wheel.peek()
+                hev = queue.peek()
+                if hev is None or wev < hev:
+                    ev = wev
+                    from_wheel = True
+                else:
+                    ev = hev
+            else:
+                ev = queue.peek()
+                if ev is None:
+                    break
+            t = ev[0]
+            if until is not None and t > until:
+                # It belongs to a later run() call; leave it in place.
+                self.now = until
+                stats.horizon_reached = True
+                break
+            if from_wheel:
+                wheel.pop()
+            else:
+                _heappop(heap)
+            if t < self.now:  # pragma: no cover - invariant guard
+                raise SimulationError(
+                    f"time went backwards: event at {t}, now {self.now}"
+                )
+            self.now = t
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; probable runaway loop"
+                )
+            if tracer is not None and tracer.wants("event"):
+                tracer.record(
+                    "event", t=t, fn=getattr(ev[3], "__qualname__", "?")
+                )
+            state = ev[2]
+            ev[2] = ST_CONSUMED
+            ev[3](*ev[4])
+            if state == ST_POOLED and len(pool) < POOL_CAP:
+                pool.append(ev)
+        stats.events_fired = fired
 
     def stop(self) -> None:
         """Request the current :meth:`run` loop to stop after this event."""
@@ -186,6 +388,9 @@ class Engine:
         if self._running:
             raise SimulationError("cannot reset a running engine")
         self._queue = EventQueue()
+        self._heap = self._queue._heap
+        self._wheel = TimerWheel()
+        self._pool = []
         self.now = 0.0
         self._seq = 0
         self._stop_requested = False

@@ -1,99 +1,125 @@
-"""Binary-heap event queue with stable ordering and lazy deletion.
+"""Binary-heap event queue with stable ordering, lazy deletion, and
+corpse auto-compaction.
 
-A thin, well-tested wrapper over :mod:`heapq` that the engine owns. It
-exists as its own module so the ordering/lazy-deletion invariants can be
-unit- and property-tested in isolation (see ``tests/sim/test_queue.py``).
+A thin wrapper over :mod:`heapq` that the engine owns. It exists as its
+own module so the ordering/lazy-deletion invariants can be unit- and
+property-tested in isolation (see ``tests/sim/test_queue.py``).
+
+Events are the plain lists of :mod:`repro.sim.event`; the heap orders
+them by their leading ``(time, seq)`` slots entirely in C. Liveness is
+tracked by a *corpse counter* rather than per-event bookkeeping:
+``live_count == len(heap) - corpses``.
+
+Compaction is automatic: when cancelled corpses are both numerous
+(``compact_min``) and at least half the heap, the heap is rebuilt
+without them. Cancel-heavy workloads (per-buffer flush timers) used to
+require calling :meth:`compact` by hand; now the cost is amortized O(1)
+per cancel — after a rebuild, at least ``live_count`` further cancels
+are needed before the ratio trips again.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Optional
 
-from repro.sim.event import Event
+from repro.sim.event import EV_STATE, EV_TIME, ST_CANCELLED
+
+_heappush = heappush
+_heappop = heappop
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by ``(time, seq)``.
+    """Min-heap of event lists ordered by ``(time, seq)``.
 
     Dead (cancelled) events are dropped lazily when they surface at the
-    head; :attr:`live_count` tracks how many live events remain so that
-    emptiness checks do not depend on the number of cancelled corpses in
-    the heap.
+    head or when auto-compaction trips; :attr:`live_count` stays exact
+    throughout.
     """
 
-    __slots__ = ("_heap", "_live")
+    __slots__ = ("_heap", "_corpses", "compact_min")
 
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._live = 0
+    def __init__(self, compact_min: int = 256) -> None:
+        self._heap: list = []
+        #: Cancelled events still physically in the heap.
+        self._corpses = 0
+        #: Auto-compaction floor: never rebuild for fewer corpses.
+        self.compact_min = compact_min
 
-    def push(self, event: Event) -> None:
+    def push(self, event: list) -> None:
         """Insert a live event. O(log n)."""
-        heapq.heappush(self._heap, event)
-        event.in_queue = True
-        self._live += 1
+        _heappush(self._heap, event)
 
-    def note_cancelled(self) -> None:
-        """Account for one event in the heap having been cancelled.
+    def cancel(self, event: list) -> bool:
+        """Cancel an event that lives in this heap. O(1) amortized.
 
-        The engine calls this when it cancels an event so that
-        :attr:`live_count` stays exact; the corpse stays in the heap until
-        it surfaces.
+        The corpse stays in the heap until it surfaces or compaction
+        removes it. Returns False if the event was already dead.
         """
-        self._live -= 1
+        if not event[EV_STATE]:
+            return False
+        event[EV_STATE] = ST_CANCELLED
+        corpses = self._corpses + 1
+        self._corpses = corpses
+        if corpses >= self.compact_min and corpses * 2 >= len(self._heap):
+            self.compact()
+        return True
 
-    def pop(self) -> Optional[Event]:
+    def pop(self) -> Optional[list]:
         """Remove and return the earliest *live* event, or ``None``.
 
         Cancelled events encountered at the head are discarded.
         """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            ev.in_queue = False
-            if ev.alive:
-                self._live -= 1
+            ev = _heappop(heap)
+            if ev[EV_STATE]:
                 return ev
+            self._corpses -= 1
         return None
 
-    def peek_time(self) -> Optional[float]:
-        """Time of the earliest live event, or ``None`` if empty.
+    def peek(self) -> Optional[list]:
+        """The earliest live event without removing it, or ``None``.
 
         Discards dead events at the head as a side effect.
         """
         heap = self._heap
         while heap:
-            if heap[0].alive:
-                return heap[0].time
-            heapq.heappop(heap).in_queue = False
+            ev = heap[0]
+            if ev[EV_STATE]:
+                return ev
+            _heappop(heap)
+            self._corpses -= 1
         return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        ev = self.peek()
+        return None if ev is None else ev[EV_TIME]
 
     @property
     def live_count(self) -> int:
         """Number of live (non-cancelled) events currently queued."""
-        return self._live
+        return len(self._heap) - self._corpses
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._heap) - self._corpses
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return len(self._heap) > self._corpses
 
     def compact(self) -> None:
         """Rebuild the heap dropping cancelled events.
 
-        Optional maintenance; useful if a workload cancels vastly more
-        events than it fires (e.g. per-item flush timers).
+        Runs automatically from :meth:`cancel` once corpses reach both
+        ``compact_min`` and half of the heap; callable directly too.
+        Rebuilds **in place** so aliases of the heap list (the engine
+        keeps one for its scheduling fast path) stay valid.
         """
-        survivors = []
-        for ev in self._heap:
-            if ev.alive:
-                survivors.append(ev)
-            else:
-                ev.in_queue = False
-        self._heap = survivors
-        heapq.heapify(self._heap)
+        heap = self._heap
+        heap[:] = [ev for ev in heap if ev[EV_STATE]]
+        heapify(heap)
+        self._corpses = 0
 
     @property
     def raw_size(self) -> int:

@@ -42,44 +42,106 @@ def proportional_take(arr: np.ndarray, k: int, total: int) -> np.ndarray:
 
 
 class ItemBuffer:
-    """Fixed-capacity buffer of real :class:`Item` objects."""
+    """Fixed-capacity buffer of real :class:`Item` objects.
 
-    __slots__ = ("capacity", "items", "timer_event", "dest")
+    Partial drains advance a head cursor instead of shifting the tail
+    left (``del items[:k]`` is O(n) per call); the backing list is
+    compacted only once the dead prefix reaches half its length, so a
+    sequence of partial drains costs amortized O(1) per drained item.
+    The minimum priority is tracked incrementally on ``add``/``drain``
+    rather than rebuilt from a throwaway list per query.
+    """
+
+    __slots__ = (
+        "capacity",
+        "timer_event",
+        "dest",
+        "_items",
+        "_head",
+        "_min_priority",
+        "_prio_count",
+    )
 
     def __init__(self, capacity: int, dest=None) -> None:
         self.capacity = capacity
-        self.items: List[Item] = []
-        #: Armed flush-timeout event, managed by the scheme.
+        #: Armed flush-timeout state, managed by the scheme.
         self.timer_event = None
         #: ``(dst_process, dst_worker_or_None)`` routing of this buffer.
         self.dest = dest
+        self._items: List[Item] = []
+        self._head = 0
+        self._min_priority: Optional[float] = None
+        self._prio_count = 0
+
+    @property
+    def items(self) -> List[Item]:
+        """The buffered items, oldest first (the live slice)."""
+        return self._items[self._head:] if self._head else self._items
 
     def add(self, item: Item) -> bool:
         """Append an item; return True when the buffer reached capacity."""
-        self.items.append(item)
-        return len(self.items) >= self.capacity
+        self._items.append(item)
+        p = item.priority
+        if p is not None:
+            self._prio_count += 1
+            if self._min_priority is None or p < self._min_priority:
+                self._min_priority = p
+        return len(self._items) - self._head >= self.capacity
 
     def drain(self, k: Optional[int] = None) -> List[Item]:
         """Remove and return the oldest ``k`` items (all if ``None``)."""
-        if k is None or k >= len(self.items):
-            out, self.items = self.items, []
+        items = self._items
+        head = self._head
+        if k is None or k >= len(items) - head:
+            out = items[head:] if head else items
+            self._items = []
+            self._head = 0
+            self._min_priority = None
+            self._prio_count = 0
             return out
-        out = self.items[:k]
-        del self.items[:k]
+        end = head + k
+        out = items[head:end]
+        self._head = end
+        if end * 2 >= len(items):
+            del items[:end]
+            self._head = 0
+        if self._prio_count:
+            self._note_drained(out)
         return out
+
+    def _note_drained(self, out: List[Item]) -> None:
+        removed = 0
+        min_left = False
+        mn = self._min_priority
+        for it in out:
+            p = it.priority
+            if p is not None:
+                removed += 1
+                if p == mn:
+                    min_left = True
+        if not removed:
+            return
+        self._prio_count -= removed
+        if self._prio_count == 0:
+            self._min_priority = None
+        elif min_left:
+            self._min_priority = min(
+                it.priority
+                for it in self._items[self._head:]
+                if it.priority is not None
+            )
 
     @property
     def count(self) -> int:
-        return len(self.items)
+        return len(self._items) - self._head
 
     @property
     def empty(self) -> bool:
-        return not self.items
+        return len(self._items) == self._head
 
     def min_priority(self) -> Optional[float]:
-        """Smallest item priority present (None when unprioritized)."""
-        priorities = [i.priority for i in self.items if i.priority is not None]
-        return min(priorities) if priorities else None
+        """Smallest item priority present (None when unprioritized). O(1)."""
+        return self._min_priority
 
 
 class CountBuffer:

@@ -40,6 +40,30 @@ Buffer = Union[ItemBuffer, CountBuffer]
 _instance_ids = itertools.count()
 
 
+class _TimerGroup:
+    """One armed flush deadline shared by every buffer that reached it
+    together.
+
+    Buffers armed by the same task share ``engine.now`` and the same
+    timeout arithmetic, so their flush deadlines are bit-identical —
+    WW arms up to ``total_workers - 1`` buffers per bulk insert. One
+    wheel event per ``(owner_wid, deadline)`` replaces N heap events;
+    members detach in O(1) when a capacity-triggered send empties them,
+    and the group's event is cancelled when the last member leaves.
+
+    ``buffers`` is insertion-ordered (dict), so a firing group posts its
+    flush tasks in arm order — the order the per-buffer timers would
+    have fired in.
+    """
+
+    __slots__ = ("key", "event", "buffers")
+
+    def __init__(self, key) -> None:
+        self.key = key
+        self.event = None
+        self.buffers: dict = {}
+
+
 class SchemeBase:
     """Common TramLib behaviour; subclasses choose buffer placement.
 
@@ -107,6 +131,10 @@ class SchemeBase:
         #: Allocated buffer bytes per owner (worker id, or ("p", pid) for
         #: shared process buffers) — drives the cache-footprint penalty.
         self._footprint: dict = {}
+        #: Live flush-timer groups keyed by ``(owner_wid, deadline)``;
+        #: each holds one timer-wheel event shared by all buffers whose
+        #: flush timeout lands on that exact deadline.
+        self._timer_groups: dict = {}
         self._ns = f"tram/{next(_instance_ids)}/{self.name}"
         rt.register_handler(self._ns + ".w", self._on_worker_msg)
         rt.register_handler(self._ns + ".p", self._on_process_msg)
@@ -309,8 +337,7 @@ class SchemeBase:
             payload = buf.take(k)
             count = payload.count
         if buf.empty and buf.timer_event is not None:
-            self.rt.engine.cancel(buf.timer_event)
-            buf.timer_event = None
+            self._release_timer(buf)
         dst_process, dst_worker = buf.dest
         self._emit_message(ctx, payload, count, dst_process, dst_worker, full=full)
 
@@ -475,17 +502,39 @@ class SchemeBase:
         # Scales are exactly 1.0 until a destination degrades or the
         # flow controller escalates, so the default timer arithmetic is
         # unchanged bit for bit.
-        buf.timer_event = self.rt.engine.after(
-            timeout * self._flush_timeout_scale * self._overload_flush_scale,
-            self._timer_fire,
-            buf,
-            owner_wid,
+        engine = self.rt.engine
+        deadline = engine.now + (
+            timeout * self._flush_timeout_scale * self._overload_flush_scale
         )
+        key = (owner_wid, deadline)
+        group = self._timer_groups.get(key)
+        if group is None:
+            # Timer-wheel timeout: flush timers are usually cancelled by
+            # a capacity-triggered send before they fire.
+            group = _TimerGroup(key)
+            group.event = engine.timer_at(deadline, self._timer_group_fire, key)
+            self._timer_groups[key] = group
+        group.buffers[id(buf)] = buf
+        buf.timer_event = group
 
-    def _timer_fire(self, buf: Buffer, owner_wid: int) -> None:
+    def _release_timer(self, buf: Buffer) -> None:
+        """Detach an emptied buffer from its flush-deadline group; the
+        shared wheel event is cancelled once no members remain."""
+        group = buf.timer_event
         buf.timer_event = None
-        if not buf.empty:
-            self.rt.worker(owner_wid).post_task(self._flush_buffer_task, buf)
+        members = group.buffers
+        del members[id(buf)]
+        if not members:
+            self.rt.engine.cancel(group.event)
+            del self._timer_groups[group.key]
+
+    def _timer_group_fire(self, key) -> None:
+        group = self._timer_groups.pop(key)
+        worker = self.rt.worker(key[0])
+        for buf in group.buffers.values():
+            buf.timer_event = None
+            if not buf.empty:
+                worker.post_task(self._flush_buffer_task, buf)
 
     def _flush_buffer_task(self, ctx, buf: Buffer) -> None:
         if buf.empty:

@@ -115,8 +115,7 @@ class WNsScheme(SchemeBase):
             payload = buf.take(k)
             count = payload.count
         if buf.empty and buf.timer_event is not None:
-            self.rt.engine.cancel(buf.timer_event)
-            buf.timer_event = None
+            self._release_timer(buf)
         dst_node, _ = buf.dest
         src = ctx.worker.wid
         procs = self.rt.machine.processes_of_node(dst_node)

@@ -134,8 +134,7 @@ class Routed2DScheme(SchemeBase):
             return
         items = buf.drain(k)
         if buf.empty and buf.timer_event is not None:
-            self.rt.engine.cancel(buf.timer_event)
-            buf.timer_event = None
+            self._release_timer(buf)
         from repro.network.message import NetMessage
         from repro.obs.spans import MsgSpan
 

@@ -61,19 +61,19 @@ class TestRequeuedEventIdentity:
         eng.run()
         assert count[0] == 1
 
-    def test_cancel_after_defer_is_safe_noop(self):
-        """Handles do not survive horizon requeueing: cancelling the
-        stale original neither stops the requeued copy nor corrupts
-        the queue's live-count accounting."""
+    def test_cancel_after_defer_still_works(self):
+        """Handles survive horizon deferral: run() never pops an event
+        beyond the horizon, so the handle still refers to the queued
+        event and cancelling it really cancels it."""
         eng = Engine()
         fired = []
         handle = eng.at(100.0, fired.append, "x")
         eng.at(200.0, fired.append, "y")
         eng.run(until=50.0)
-        eng.cancel(handle)  # stale: the copy is what is queued now
-        assert eng.pending == 2  # live count untouched by the stale cancel
+        eng.cancel(handle)
+        assert eng.pending == 1
         eng.run()
-        assert fired == ["x", "y"]
+        assert fired == ["y"]
 
 
 class TestZeroDurationChains:

@@ -1,8 +1,8 @@
-"""Unit tests for the event queue (ordering, lazy deletion)."""
+"""Unit tests for the event queue (ordering, lazy deletion, compaction)."""
 
 import pytest
 
-from repro.sim.event import Event
+from repro.sim.event import EV_SEQ, EV_STATE, EV_TIME, Event, describe
 from repro.sim.queue import EventQueue
 
 
@@ -15,14 +15,14 @@ class TestOrdering:
         q = EventQueue()
         for t in (5.0, 1.0, 3.0, 2.0, 4.0):
             q.push(ev(t, int(t)))
-        times = [q.pop().time for _ in range(5)]
+        times = [q.pop()[EV_TIME] for _ in range(5)]
         assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
 
     def test_ties_broken_by_seq_fifo(self):
         q = EventQueue()
         for seq in (0, 1, 2):
             q.push(ev(7.0, seq))
-        seqs = [q.pop().seq for _ in range(3)]
+        seqs = [q.pop()[EV_SEQ] for _ in range(3)]
         assert seqs == [0, 1, 2]
 
     def test_pop_empty_returns_none(self):
@@ -45,10 +45,9 @@ class TestCancellation:
         first = ev(1.0, 0)
         q.push(first)
         q.push(ev(2.0, 1))
-        first.cancel()
-        q.note_cancelled()
+        assert q.cancel(first)
         popped = q.pop()
-        assert popped.time == 2.0
+        assert popped[EV_TIME] == 2.0
 
     def test_live_count_tracks_cancellation(self):
         q = EventQueue()
@@ -56,18 +55,24 @@ class TestCancellation:
         q.push(a)
         q.push(b)
         assert q.live_count == 2
-        a.cancel()
-        q.note_cancelled()
+        q.cancel(a)
         assert q.live_count == 1
         assert bool(q)
+
+    def test_double_cancel_reports_false(self):
+        q = EventQueue()
+        a = ev(1.0, 0)
+        q.push(a)
+        assert q.cancel(a)
+        assert not q.cancel(a)
+        assert q.live_count == 0
 
     def test_peek_discards_dead_heads(self):
         q = EventQueue()
         a = ev(1.0, 0)
         q.push(a)
         q.push(ev(5.0, 1))
-        a.cancel()
-        q.note_cancelled()
+        q.cancel(a)
         assert q.peek_time() == 5.0
 
     def test_compact_drops_corpses(self):
@@ -76,32 +81,81 @@ class TestCancellation:
         for e in events:
             q.push(e)
         for e in events[:5]:
-            e.cancel()
-            q.note_cancelled()
+            q.cancel(e)
         assert q.raw_size == 10
         q.compact()
         assert q.raw_size == 5
         assert q.live_count == 5
-        assert q.pop().time == 5.0
+        assert q.pop()[EV_TIME] == 5.0
 
     def test_all_cancelled_means_empty(self):
         q = EventQueue()
         a = ev(1.0, 0)
         q.push(a)
-        a.cancel()
-        q.note_cancelled()
+        q.cancel(a)
         assert not q
         assert q.pop() is None
 
 
-class TestEventRepr:
+class TestAutoCompaction:
+    def test_triggers_once_corpses_reach_half(self):
+        q = EventQueue(compact_min=16)
+        events = [ev(float(i), i) for i in range(32)]
+        for e in events:
+            q.push(e)
+        # Cancel 15: below compact_min, no rebuild yet.
+        for e in events[:15]:
+            q.cancel(e)
+        assert q.raw_size == 32
+        # The 16th cancel reaches compact_min AND half the heap.
+        q.cancel(events[15])
+        assert q.raw_size == 16
+        assert q.live_count == 16
+        assert q.pop()[EV_TIME] == 16.0
+
+    def test_respects_compact_min_floor(self):
+        q = EventQueue(compact_min=256)
+        events = [ev(float(i), i) for i in range(10)]
+        for e in events:
+            q.push(e)
+        for e in events:
+            q.cancel(e)
+        # All corpses, but far below the floor: no rebuild.
+        assert q.raw_size == 10
+        assert q.live_count == 0
+
+    def test_order_preserved_across_auto_compaction(self):
+        q = EventQueue(compact_min=8)
+        events = [ev(float(i % 5), i) for i in range(64)]
+        for e in events:
+            q.push(e)
+        cancelled = set(range(0, 64, 2))
+        for i in cancelled:
+            q.cancel(events[i])
+        expected = sorted(
+            (e[EV_TIME], e[EV_SEQ]) for i, e in enumerate(events)
+            if i not in cancelled
+        )
+        popped = []
+        while q:
+            e = q.pop()
+            popped.append((e[EV_TIME], e[EV_SEQ]))
+        assert popped == expected
+
+
+class TestEventRepresentation:
     def test_lt_uses_time_then_seq(self):
         assert ev(1.0, 5) < ev(2.0, 0)
         assert ev(1.0, 0) < ev(1.0, 1)
         assert not (ev(2.0, 0) < ev(1.0, 9))
 
-    def test_cancel_sets_flag(self):
+    def test_cancel_clears_state(self):
+        q = EventQueue()
         e = ev(1.0, 0)
-        assert e.alive
-        e.cancel()
-        assert not e.alive
+        q.push(e)
+        assert e[EV_STATE]
+        q.cancel(e)
+        assert not e[EV_STATE]
+
+    def test_describe(self):
+        assert "seq=0" in describe(ev(1.0, 0))

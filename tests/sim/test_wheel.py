@@ -1,0 +1,188 @@
+"""Unit tests for the hierarchical timer wheel and its engine merge."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+from repro.sim.event import EV_SEQ, EV_TIME, Event
+from repro.sim.wheel import TimerWheel
+
+
+def ev(time, seq):
+    return Event(time, seq, lambda: None, ())
+
+
+def drain(wheel):
+    out = []
+    while wheel.peek() is not None:
+        e = wheel.pop()
+        out.append((e[EV_TIME], e[EV_SEQ]))
+    return out
+
+
+class TestWheelStructure:
+    def test_granularity_rounds_up_to_power_of_two(self):
+        assert TimerWheel(granularity=1000.0).granularity == 1024.0
+        assert TimerWheel(granularity=1024.0).granularity == 1024.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TimerWheel(granularity=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(slots=1)
+
+    def test_cross_level_and_overflow_ordering(self):
+        # Tiny wheel: level-0 slot 2 ns, horizon 2*4=8 ns (level 0),
+        # 2*4*4=32 ns (level 1); anything >= 32 ns lands in overflow.
+        w = TimerWheel(granularity=2.0, slots=4, levels=2)
+        times = [0.0, 1.0, 3.0, 7.0, 9.0, 15.0, 31.0, 40.0, 1000.0, 5.0]
+        for i, t in enumerate(times):
+            w.push(ev(t, i))
+        assert w.live_count == len(times)
+        expected = sorted((t, i) for i, t in enumerate(times))
+        assert drain(w) == expected
+
+    def test_ties_fifo_by_seq(self):
+        w = TimerWheel(granularity=2.0, slots=4, levels=2)
+        for seq in (0, 1, 2):
+            w.push(ev(6.0, seq))
+        assert drain(w) == [(6.0, 0), (6.0, 1), (6.0, 2)]
+
+    def test_arm_inside_materialized_window(self):
+        w = TimerWheel(granularity=2.0, slots=4, levels=2)
+        w.push(ev(20.0, 0))
+        assert w.peek()[EV_SEQ] == 0  # cursor advanced toward t=20
+        # Late arm earlier than the cursor's bucket must still win.
+        w.push(ev(19.0, 1))
+        assert drain(w) == [(19.0, 1), (20.0, 0)]
+
+    def test_peek_empty_returns_none(self):
+        w = TimerWheel()
+        assert w.peek() is None
+        assert w.peek_time() is None
+
+
+class TestWheelCancellation:
+    def test_cancel_is_lazy_and_exact(self):
+        w = TimerWheel(granularity=2.0, slots=4, levels=2)
+        a, b = ev(4.0, 0), ev(9.0, 1)
+        w.push(a)
+        w.push(b)
+        assert w.cancel(a)
+        assert not w.cancel(a)  # double cancel reports False
+        assert w.live_count == 1
+        assert w.raw_size == 2  # corpse still inside
+        assert w.peek_time() == 9.0
+
+    def test_idle_sweep_clears_debris(self):
+        w = TimerWheel(granularity=2.0, slots=4, levels=2)
+        events = [ev(float(10 + i), i) for i in range(6)]
+        for e in events:
+            w.push(e)
+        for e in events:
+            w.cancel(e)
+        assert w.live_count == 0
+        # Rearming while idle snaps the cursor and sweeps the corpses.
+        w.push(ev(3.0, 99))
+        assert w.raw_size == 1
+        assert drain(w) == [(3.0, 99)]
+
+
+class TestEngineWheelMerge:
+    def test_merge_preserves_time_seq_order_across_sources(self):
+        eng = Engine()
+        order = []
+        eng.at(10.0, order.append, "h1")       # seq 0
+        eng.timer_at(10.0, order.append, "w1")  # seq 1: tie broken by seq
+        eng.at(10.0, order.append, "h2")       # seq 2
+        eng.timer_at(5.0, order.append, "w0")   # seq 3: earliest time
+        eng.run()
+        assert order == ["w0", "h1", "w1", "h2"]
+
+    def test_timer_validation_matches_at(self):
+        eng = Engine()
+        eng.at(10.0, lambda: None)
+        eng.run()
+        with pytest.raises(SchedulingError):
+            eng.timer_at(5.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            eng.timer_after(-1.0, lambda: None)
+
+    def test_timer_cancel_via_engine(self):
+        eng = Engine()
+        fired = []
+        h = eng.timer_after(10.0, fired.append, "x")
+        eng.timer_after(20.0, fired.append, "y")
+        eng.cancel(h)
+        eng.cancel(h)  # double cancel safe
+        eng.run()
+        assert fired == ["y"]
+        assert eng.pending == 0
+
+    def test_wheel_event_deferred_past_horizon_keeps_handle(self):
+        eng = Engine()
+        fired = []
+        h = eng.timer_at(100.0, fired.append, "x")
+        stats = eng.run(until=50.0)
+        assert stats.horizon_reached
+        assert eng.pending == 1
+        eng.cancel(h)
+        eng.run()
+        assert fired == []
+
+    def test_pending_and_peek_time_span_both_sources(self):
+        eng = Engine()
+        eng.at(30.0, lambda: None)
+        eng.timer_at(20.0, lambda: None)
+        assert eng.pending == 2
+        assert eng.peek_time() == 20.0
+
+
+class TestEventPool:
+    def test_internal_events_are_pooled_after_firing(self):
+        eng = Engine()
+        eng.call_after(1.0, lambda _: None, (0,))
+        eng.run()
+        assert len(eng._pool) == 1
+
+    def test_handle_bearing_events_are_never_pooled(self):
+        eng = Engine()
+        h = eng.at(1.0, lambda: None)
+        eng.timer_at(2.0, lambda: None)
+        eng.run()
+        assert h not in eng._pool
+        assert eng._pool == []
+
+    def test_recycled_event_fires_with_new_payload(self):
+        eng = Engine()
+        order = []
+        eng.call_after(1.0, order.append, ("x",))
+        eng.run()
+        recycled = eng._pool[-1]
+        eng.call_after(1.0, order.append, ("y",))
+        assert eng._pool == []  # the pooled list was taken back out
+        assert recycled[EV_TIME] == 2.0  # now(=1.0) + 1.0 delay
+        eng.run()
+        assert order == ["x", "y"]
+
+    def test_pool_reuse_cannot_resurrect_cancelled_events(self):
+        """A cancelled handle must stay dead through pool churn: pooled
+        lists are only ever the engine's own no-handle events, so a
+        recycled list can never be one a caller still points at."""
+        eng = Engine()
+        fired = []
+        h = eng.at(5.0, fired.append, "cancelled")
+        eng.cancel(h)
+        # Churn the pool across the same timestamps.
+        for i in range(10):
+            eng.call_after(float(i), fired.append, (i,))
+        eng.run()
+        assert "cancelled" not in fired
+        assert fired == list(range(10))
+        # The dead handle's list was dropped, not pooled.
+        assert h not in eng._pool
+        # Stale cancel of the long-fired handle is still a safe noop.
+        eng.cancel(h)
+        eng.call_after(1.0, fired.append, ("tail",))
+        eng.run()
+        assert fired[-1] == "tail"
