@@ -71,6 +71,10 @@ def _sweep_dict(sweep: Any) -> dict:
                 "values": list(c.values),
                 "mean": c.mean,
                 "std": c.std,
+                # Volatile execution metadata (excluded from the
+                # canonical form, see canonical_metrics_bytes).
+                "wall_s": list(getattr(c, "wall_s", ()) or ()),
+                "cache_hits": getattr(c, "cache_hits", 0),
             }
             for c in sweep.cells
         ],
@@ -99,6 +103,7 @@ def build_metrics_payload(
     figure: Any = None,
     sweep: Any = None,
     extra_config: Optional[Dict[str, Any]] = None,
+    provenance: Optional[Dict[str, Any]] = None,
 ) -> dict:
     """Assemble the schema-versioned artifact for one harness invocation.
 
@@ -115,6 +120,10 @@ def build_metrics_payload(
         :class:`~repro.harness.sweep.SweepResult` to embed.
     extra_config:
         Free-form invocation parameters worth recording.
+    provenance:
+        Optional per-point execution provenance from the sweep pool
+        (cache hit/miss, worker id, wall-clock per point). Volatile by
+        nature — excluded from :func:`canonical_metrics_bytes`.
     """
     return {
         "schema": METRICS_SCHEMA,
@@ -125,7 +134,41 @@ def build_metrics_payload(
         "sweep": _sweep_dict(sweep) if sweep is not None else None,
         "runs": list(runs),
         "summary": _summary_dict(runs),
+        "provenance": dict(provenance) if provenance else None,
     }
+
+
+#: Per-sweep-cell keys that record execution metadata rather than
+#: simulated results (wall-clock, cache state).
+_VOLATILE_CELL_KEYS = ("wall_s", "cache_hits")
+
+
+def canonical_metrics_bytes(payload: Any) -> bytes:
+    """The schedule-independent byte form of a metrics payload.
+
+    Serial and parallel executions of the same sweep produce identical
+    simulated results but necessarily different execution metadata
+    (which worker ran a point, how long it took, whether the cache
+    served it). This helper strips exactly that metadata — the
+    ``provenance`` block and the per-cell volatile keys — and
+    serializes the rest canonically (sorted keys). Two artifacts are
+    equivalent iff their canonical bytes are equal; the determinism
+    tests and the CI sweep-smoke job assert equality between
+    ``--parallel 1`` and ``--parallel N`` (and between cold and
+    warm-cache) runs this way.
+    """
+    clean = json.loads(json.dumps(payload, default=_jsonable))
+    if isinstance(clean, dict):
+        clean.pop("provenance", None)
+        sweep = clean.get("sweep")
+        if isinstance(sweep, dict):
+            for cell in sweep.get("cells") or ():
+                if isinstance(cell, dict):
+                    for key in _VOLATILE_CELL_KEYS:
+                        cell.pop(key, None)
+    return json.dumps(
+        clean, sort_keys=True, separators=(",", ":"), default=_jsonable
+    ).encode("utf-8")
 
 
 def write_metrics_json(path: Any, payload: dict) -> Path:
@@ -218,6 +261,39 @@ def _check_flow(prefix: str, run: dict, errors: List[str]) -> None:
         errors.append(f"{prefix}: flow active but flow.* metrics missing")
 
 
+_PROVENANCE_POINT_KEYS = ("index", "cache_hit", "worker", "wall_s", "seed")
+
+
+def _check_provenance(prov: Any, errors: List[str]) -> None:
+    if prov is None:
+        return
+    if not isinstance(prov, dict):
+        errors.append("'provenance' is not an object")
+        return
+    points = prov.get("points")
+    if not isinstance(points, list):
+        errors.append("provenance missing 'points' list")
+        return
+    for i, point in enumerate(points):
+        if not isinstance(point, dict):
+            errors.append(f"provenance.points[{i}]: not an object")
+            continue
+        for key in _PROVENANCE_POINT_KEYS:
+            if key not in point:
+                errors.append(f"provenance.points[{i}]: missing {key!r}")
+    summary = prov.get("summary")
+    if isinstance(summary, dict):
+        if summary.get("n_points") != len(points):
+            errors.append("provenance.summary.n_points != len(points)")
+        hits = sum(1 for p in points if isinstance(p, dict) and p.get("cache_hit"))
+        if summary.get("cache_hits") != hits:
+            errors.append(
+                "provenance.summary.cache_hits does not match points"
+            )
+        if summary.get("executed") != len(points) - hits:
+            errors.append("provenance.summary.executed does not match points")
+
+
 def validate_metrics_payload(payload: Any) -> List[str]:
     """Check a parsed artifact against the schema; returns problems.
 
@@ -249,4 +325,5 @@ def validate_metrics_payload(payload: Any) -> List[str]:
             errors.append("summary.n_runs does not match len(runs)")
     elif summary is not None:
         errors.append("'summary' is not an object")
+    _check_provenance(payload.get("provenance"), errors)
     return errors

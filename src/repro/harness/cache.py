@@ -1,0 +1,159 @@
+"""Content-addressed result cache for sweep points.
+
+Every sweep point — one ``fn(seed=..., **params)`` invocation — is
+keyed by a stable hash over everything that determines its result:
+
+* the point *tag* (a stable name for the metric function),
+* the resolved parameters and the seed,
+* the cost-model constants (so recalibrating the simulator invalidates
+  every cached point automatically),
+* the ambient fault plan and flow-control config, when active.
+
+Completed points are persisted as individual JSON artifacts under a
+cache directory (``<root>/<key[:2]>/<key>.json``, written atomically),
+so re-runs of identical points are free and an interrupted sweep is
+resumable: the next invocation finds the finished points on disk and
+executes only the missing ones.
+
+The simulator is deterministic per seed, which is what makes caching by
+inputs sound: a hit replays the exact value (and observability records)
+the execution would have produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+#: Bump on any change that invalidates previously cached points
+#: (entry layout, key ingredients, record semantics).
+CACHE_SCHEMA = "repro.sweep-cache/1"
+
+
+def _jsonable(obj: Any) -> Any:
+    """JSON fallback mirroring :mod:`repro.harness.artifact`."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if hasattr(obj, "tolist"):  # numpy array
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def cost_model_fingerprint(costs: Any = None) -> Dict[str, Any]:
+    """The cost-model constants that feed every simulated result.
+
+    ``None`` fingerprints the default :class:`~repro.machine.costs.CostModel`,
+    so editing any calibration constant in the source invalidates the
+    cache without manual intervention.
+    """
+    from repro.machine.costs import CostModel
+
+    model = costs if costs is not None else CostModel()
+    return dataclasses.asdict(model)
+
+
+def point_key(
+    *,
+    tag: str,
+    params: Mapping[str, Any],
+    seed: int,
+    costs: Any = None,
+    faults: Any = None,
+    flow: Any = None,
+) -> str:
+    """Stable content hash identifying one sweep point.
+
+    ``faults`` / ``flow`` are the ambient :class:`~repro.faults.FaultPlan`
+    and :class:`~repro.flow.FlowConfig` (or ``None``); they are folded in
+    as dataclass dicts so a degraded or flow-controlled sweep never
+    shares entries with a clean one.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "tag": tag,
+        "params": dict(params),
+        "seed": int(seed),
+        "costs": cost_model_fingerprint(costs),
+        "faults": faults,
+        "flow": flow,
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of per-point result artifacts, addressed by content key.
+
+    Entries are plain JSON documents::
+
+        {"schema": "repro.sweep-cache/1", "key": ..., "tag": ...,
+         "params": {...}, "seed": 0, "value": <metric payload>,
+         "records": [<run snapshot>, ...], "meta": {"wall_s": ..., ...}}
+
+    Reads tolerate missing/corrupt/foreign files (they count as misses);
+    writes are atomic (tempfile + ``os.replace``) so a killed sweep never
+    leaves a half-written entry behind.
+    """
+
+    def __init__(self, root: Any) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached entry for ``key``, or ``None`` on any miss."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or entry.get("key") != key
+        ):
+            return None
+        return entry
+
+    def put(self, key: str, entry: Mapping[str, Any]) -> Path:
+        """Persist one completed point atomically. Returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = dict(entry)
+        doc["schema"] = CACHE_SCHEMA
+        doc["key"] = key
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, default=_jsonable) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -6,6 +6,10 @@ Examples::
     tramlib-repro fig9
     tramlib-repro fig12 --profile quick
     tramlib-repro all --profile quick --out results/
+    tramlib-repro fig9 --parallel 8
+    tramlib-repro sweep --app histogram \\
+        --axes "nodes=1,2,4;scheme=WW,WPs,PP" --seeds 0,1 \\
+        --parallel 8 --metrics-out sweep.json
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help=(
-            "figure id (e.g. fig9), 'all', 'report', 'validate', "
+            "figure id (e.g. fig9), 'all', 'sweep', 'report', 'validate', "
             "'validate-metrics', or 'list'"
         ),
     )
@@ -87,7 +91,205 @@ def _build_parser() -> argparse.ArgumentParser:
             "'ct_msgs=64,ct_bytes=1048576,overload=200000,shed=2000000'"
         ),
     )
+    parallel = parser.add_argument_group("parallel execution and caching")
+    parallel.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "dispatch sweep/figure grid points to N worker processes "
+            "(work-stealing pool; results are merged deterministically "
+            "by grid index, so output is identical to a serial run)"
+        ),
+    )
+    parallel.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result cache directory; completed points "
+            "are persisted there and identical re-runs are free "
+            "(default for 'sweep': .repro-cache/sweep)"
+        ),
+    )
+    parallel.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely (no reads, no writes)",
+    )
+    parallel.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore existing cache entries (still writes fresh ones)",
+    )
+    parallel.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from its cache directory "
+            "(this is the default whenever caching is on; the flag "
+            "exists to make intent explicit)"
+        ),
+    )
+    sweep = parser.add_argument_group("generic sweeps ('sweep' target)")
+    sweep.add_argument(
+        "--app",
+        default="histogram",
+        metavar="NAME",
+        help="benchmark app to sweep (histogram, indexgather, alltoall, "
+        "phold, pingack)",
+    )
+    sweep.add_argument(
+        "--axes",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "swept axes as 'name=v1,v2,...;name2=...' — e.g. "
+            "'nodes=1,2,4;scheme=WW,WPs,PP'"
+        ),
+    )
+    sweep.add_argument(
+        "--fixed",
+        default=None,
+        metavar="SPEC",
+        help="constant app parameters, 'name=value,name=value' — e.g. "
+        "'updates_per_pe=2000,buffer_items=64'",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default="0",
+        metavar="LIST",
+        help="comma-separated seeds replicating every cell (default: 0)",
+    )
+    sweep.add_argument(
+        "--metric",
+        default="total_time_ns",
+        metavar="NAME",
+        help="result attribute to record per point (default: total_time_ns)",
+    )
+    sweep.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N points then stop (cache hits are free); "
+        "an interrupted sweep resumes from its cache",
+    )
     return parser
+
+
+# ----------------------------------------------------------------------
+# Sweep-spec parsing
+# ----------------------------------------------------------------------
+def _coerce(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(spec: str) -> dict:
+    axes = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad axis {part!r} (want name=v1,v2,...)")
+        name, values = part.split("=", 1)
+        axes[name.strip()] = [_coerce(v.strip()) for v in values.split(",") if v.strip()]
+    if not axes:
+        raise ValueError("no axes given")
+    return axes
+
+
+def _parse_fixed(spec: str) -> dict:
+    fixed = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad parameter {part!r} (want name=value)")
+        name, value = part.split("=", 1)
+        fixed[name.strip()] = _coerce(value.strip())
+    return fixed
+
+
+def _run_sweep_cmd(args) -> int:
+    import functools
+    import json as _json
+
+    from repro.errors import HarnessError
+    from repro.harness.pool import SweepInterrupted, run_app_point
+    from repro.harness.sweep import run_sweep
+
+    if not args.axes:
+        print("error: sweep needs --axes 'name=v1,v2;...'", file=sys.stderr)
+        return 2
+    try:
+        axes = _parse_axes(args.axes)
+        fixed = _parse_fixed(args.fixed) if args.fixed else {}
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fn = functools.partial(run_app_point, args.app, args.metric, **fixed)
+    # The fixed parameters are folded into the cache tag (they are not
+    # part of the per-point params), so differently-pinned sweeps never
+    # share cache entries.
+    tag = f"app:{args.app}:{args.metric}:" + _json.dumps(
+        fixed, sort_keys=True, separators=(",", ":")
+    )
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (
+            args.cache_dir
+            if args.cache_dir is not None
+            else Path(".repro-cache") / "sweep"
+        )
+    t0 = time.perf_counter()
+    try:
+        result = run_sweep(
+            fn,
+            axes,
+            seeds=seeds,
+            metric=args.metric,
+            metrics_path=args.metrics_out,
+            flow=args.flow,
+            parallel=args.parallel,
+            cache_dir=cache_dir,
+            fresh=args.fresh,
+            tag=tag,
+            max_executions=args.max_points,
+        )
+    except SweepInterrupted as exc:
+        print(f"sweep interrupted: {exc}", file=sys.stderr)
+        return 3
+    except HarnessError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    table = result.to_table()
+    print(table)
+    hits, points = result.total_cache_hits, result.total_points
+    print(
+        f"[swept {points} point(s) in {elapsed:.1f}s wall with "
+        f"--parallel {args.parallel}: {hits} cache hit(s), "
+        f"{points - hits} executed]"
+    )
+    if args.metrics_out is not None:
+        print(f"[metrics artifact written to {args.metrics_out}]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"sweep_{args.app}_{args.metric}.txt").write_text(
+            table + "\n"
+        )
+    return 0
 
 
 def _run_one(
@@ -97,10 +299,14 @@ def _run_one(
     metrics_out: Optional[Path] = None,
     faults: Optional[str] = None,
     flow: Optional[str] = None,
+    parallel: int = 1,
+    cache_dir: Optional[Path] = None,
+    fresh: bool = False,
 ) -> None:
     t0 = time.perf_counter()
     data = run_figure(
-        fig_id, profile, metrics_path=metrics_out, faults=faults, flow=flow
+        fig_id, profile, metrics_path=metrics_out, faults=faults, flow=flow,
+        parallel=parallel, cache_dir=cache_dir, fresh=fresh,
     )
     elapsed = time.perf_counter() - t0
     report = data.render()
@@ -108,6 +314,8 @@ def _run_one(
     suffix = f" under faults '{faults}'" if faults else ""
     if flow:
         suffix += f" with flow control '{flow}'"
+    if parallel != 1:
+        suffix += f" at --parallel {parallel}"
     print(f"[{fig_id} regenerated in {elapsed:.1f}s wall{suffix}]")
     if metrics_out is not None:
         print(f"[metrics artifact written to {metrics_out}]")
@@ -171,6 +379,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.target == "validate-metrics":
         return _validate_metrics(args.path)
+    if args.target == "sweep":
+        return _run_sweep_cmd(args)
+    fig_cache = None if args.no_cache else args.cache_dir
     if args.target == "all":
         for fig_id in FIGURES:
             metrics_out = (
@@ -180,13 +391,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             _run_one(
                 fig_id, args.profile, args.out, metrics_out, args.faults,
-                args.flow,
+                args.flow, args.parallel, fig_cache, args.fresh,
             )
         return 0
     if args.target == "validate":
         from repro.harness.validate import render_results, validate_reproduction
 
-        results = validate_reproduction(profile=args.profile)
+        results = validate_reproduction(
+            profile=args.profile, parallel=args.parallel, cache_dir=fig_cache
+        )
         print(render_results(results))
         failed = [r for r in results if not r.passed]
         print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")
@@ -202,14 +415,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target not in FIGURES:
         print(
             f"error: unknown target {args.target!r} "
-            f"(known: {', '.join(FIGURES)}, all, report, validate, "
+            f"(known: {', '.join(FIGURES)}, all, sweep, report, validate, "
             f"validate-metrics, list)",
             file=sys.stderr,
         )
         return 2
     _run_one(
         args.target, args.profile, args.out, args.metrics_out, args.faults,
-        args.flow,
+        args.flow, args.parallel, fig_cache, args.fresh,
     )
     return 0
 

@@ -40,6 +40,52 @@ SCALED_PPN = 2
 SCALED_WPP = 4
 
 
+# ----------------------------------------------------------------------
+# Grid-point functions: module-level so the sweep pool can execute them
+# in worker processes and key them in the result cache. Each returns a
+# small JSON-friendly dict of just the fields its figures read.
+# ----------------------------------------------------------------------
+def _histo_point(
+    seed: int, *, nodes: int, scheme: str, z: int, g: int, batch: int
+) -> dict:
+    r = run_histogram(
+        scaled_machine(nodes),
+        scheme,
+        updates_per_pe=z,
+        buffer_items=g,
+        batch=batch,
+        seed=seed,
+    )
+    return {"time_ms": r.total_time_ns / 1e6}
+
+
+def _ig_point(seed: int, *, nodes: int, scheme: str, z: int) -> dict:
+    r = run_indexgather(
+        scaled_machine(nodes),
+        scheme,
+        requests_per_pe=z,
+        buffer_items=64,
+        batch=500,
+        seed=seed,
+    )
+    return {
+        "round_trip_latency_ns": r.round_trip_latency_ns,
+        "total_time_ns": r.total_time_ns,
+    }
+
+
+def _run_grid(fn, grid, tag) -> list:
+    """Run one figure grid through the sweep pool; values in grid order.
+
+    Point order matters twice: it fixes how series are assembled below
+    and the order run snapshots land in the metrics artifact, so it
+    must match the historical serial enumeration exactly.
+    """
+    from repro.harness.pool import map_points
+
+    return [o.value for o in map_points(fn, grid, tag=tag)]
+
+
 def scaled_machine(nodes: int) -> MachineConfig:
     """The harness's standard SMP machine for ``nodes`` nodes."""
     return MachineConfig(
@@ -162,17 +208,15 @@ def fig9(profile: str = "paper") -> FigureData:
     _check_profile(profile)
     nodes_list = [1, 2, 4, 8, 16, 32] if profile == "paper" else [1, 2, 4, 8]
     z = 8000 if profile == "paper" else 3000
+    grid = [
+        {"nodes": nodes, "scheme": scheme, "z": z, "g": 64, "batch": 1000}
+        for nodes in nodes_list
+        for scheme in SCHEME_NAMES
+    ]
+    values = _run_grid(_histo_point, grid, "figures.histo")
     series = {s: [] for s in SCHEME_NAMES}
-    for nodes in nodes_list:
-        for scheme in SCHEME_NAMES:
-            r = run_histogram(
-                scaled_machine(nodes),
-                scheme,
-                updates_per_pe=z,
-                buffer_items=64,
-                batch=1000,
-            )
-            series[scheme].append(r.total_time_ns / 1e6)
+    for params, value in zip(grid, values):
+        series[params["scheme"]].append(value["time_ms"])
     return FigureData(
         fig_id="fig9",
         title="Histogram weak scaling (z updates/PE constant)",
@@ -193,17 +237,15 @@ def fig10(profile: str = "paper") -> FigureData:
     nodes = 8 if profile == "paper" else 4
     gs = [16, 32, 64, 128, 256, 512] if profile == "paper" else [16, 64, 256]
     z = 8000 if profile == "paper" else 3000
+    grid = [
+        {"nodes": nodes, "scheme": scheme, "z": z, "g": g, "batch": 1000}
+        for g in gs
+        for scheme in SCHEME_NAMES
+    ]
+    values = _run_grid(_histo_point, grid, "figures.histo")
     series = {s: [] for s in SCHEME_NAMES}
-    for g in gs:
-        for scheme in SCHEME_NAMES:
-            r = run_histogram(
-                scaled_machine(nodes),
-                scheme,
-                updates_per_pe=z,
-                buffer_items=g,
-                batch=1000,
-            )
-            series[scheme].append(r.total_time_ns / 1e6)
+    for params, value in zip(grid, values):
+        series[params["scheme"]].append(value["time_ms"])
     return FigureData(
         fig_id="fig10",
         title="Histogram: buffer-size sweep",
@@ -224,17 +266,15 @@ def fig11(profile: str = "paper") -> FigureData:
     _check_profile(profile)
     nodes_list = [1, 2, 4, 8, 16, 32] if profile == "paper" else [1, 2, 4, 8]
     z = 1000 if profile == "paper" else 600
+    grid = [
+        {"nodes": nodes, "scheme": scheme, "z": z, "g": 64, "batch": 500}
+        for nodes in nodes_list
+        for scheme in SCHEME_NAMES
+    ]
+    values = _run_grid(_histo_point, grid, "figures.histo")
     series = {s: [] for s in SCHEME_NAMES}
-    for nodes in nodes_list:
-        for scheme in SCHEME_NAMES:
-            r = run_histogram(
-                scaled_machine(nodes),
-                scheme,
-                updates_per_pe=z,
-                buffer_items=64,
-                batch=500,
-            )
-            series[scheme].append(r.total_time_ns / 1e6)
+    for params, value in zip(grid, values):
+        series[params["scheme"]].append(value["time_ms"])
     return FigureData(
         fig_id="fig11",
         title="Histogram, few updates/PE (flush-heavy)",
@@ -257,18 +297,15 @@ def fig11(profile: str = "paper") -> FigureData:
 def _ig_sweep(profile: str):
     nodes_list = (1, 2, 4, 8, 16) if profile == "paper" else (1, 2, 4)
     z = 4000 if profile == "paper" else 3000
-    out = {}
-    for nodes in nodes_list:
-        out[nodes] = {
-            scheme: run_indexgather(
-                scaled_machine(nodes),
-                scheme,
-                requests_per_pe=z,
-                buffer_items=64,
-                batch=500,
-            )
-            for scheme in SCHEME_NAMES
-        }
+    grid = [
+        {"nodes": nodes, "scheme": scheme, "z": z}
+        for nodes in nodes_list
+        for scheme in SCHEME_NAMES
+    ]
+    values = _run_grid(_ig_point, grid, "figures.indexgather")
+    out: Dict[int, Dict[str, dict]] = {}
+    for params, value in zip(grid, values):
+        out.setdefault(params["nodes"], {})[params["scheme"]] = value
     return nodes_list, out
 
 
@@ -284,7 +321,10 @@ def fig12(profile: str = "paper") -> FigureData:
         series=[
             Series(
                 s,
-                [results[n][s].round_trip_latency_ns / 1e3 for n in nodes_list],
+                [
+                    results[n][s]["round_trip_latency_ns"] / 1e3
+                    for n in nodes_list
+                ],
             )
             for s in SCHEME_NAMES
         ],
@@ -302,7 +342,7 @@ def fig13(profile: str = "paper") -> FigureData:
         ylabel="total time (ms)",
         x=list(nodes_list),
         series=[
-            Series(s, [results[n][s].total_time_ns / 1e6 for n in nodes_list])
+            Series(s, [results[n][s]["total_time_ns"] / 1e6 for n in nodes_list])
             for s in SCHEME_NAMES
         ],
         expected=(
@@ -591,7 +631,7 @@ FIGURES: Dict[str, Tuple[Callable[[str], FigureData], str]] = {
 
 def run_figure(
     fig_id: str, profile: str = "paper", metrics_path=None, faults=None,
-    flow=None,
+    flow=None, parallel: int = 1, cache_dir=None, fresh: bool = False,
 ) -> FigureData:
     """Run one registered experiment by id.
 
@@ -610,6 +650,12 @@ def run_figure(
     string for :meth:`~repro.flow.FlowConfig.parse`), every simulation
     runs with credit-based flow control: bounded comm-thread/NIC
     occupancy, source backpressure and overload escalation.
+
+    ``parallel``/``cache_dir``/``fresh`` configure the sweep pool for
+    the figure's grid-shaped bodies (see :mod:`repro.harness.pool`):
+    points are dispatched to worker processes and/or replayed from the
+    content-addressed result cache, with identical figure data and
+    artifact contents either way (modulo the provenance block).
     """
     try:
         fn, _ = FIGURES[fig_id]
@@ -631,10 +677,13 @@ def run_figure(
         fcfg = flow if isinstance(flow, FlowConfig) else FlowConfig.parse(flow)
         if not fcfg.enabled:
             fcfg = None
-    if metrics_path is None and plan is None and fcfg is None:
+    pooled = parallel != 1 or cache_dir is not None
+    if metrics_path is None and plan is None and fcfg is None and not pooled:
         return fn(profile)
 
     from contextlib import ExitStack
+
+    from repro.harness.pool import PoolConfig, pool_session
 
     # The shared sweeps memoize results; a cached hit would run no
     # simulations inside the session (empty artifact / no faults or
@@ -658,9 +707,20 @@ def run_figure(
                 from repro.obs import ObsConfig, ObsSession
 
                 session = stack.enter_context(ObsSession(ObsConfig()))
+            # Entered last so forked workers inherit the fault/flow/obs
+            # sessions above.
+            pool_ctx = stack.enter_context(
+                pool_session(
+                    PoolConfig(
+                        parallel=parallel,
+                        cache_dir=cache_dir,
+                        cache_read=not fresh,
+                    )
+                )
+            )
             data = fn(profile)
     finally:
-        if plan is not None or fcfg is not None:
+        if plan is not None or fcfg is not None or pooled:
             _ig_sweep.cache_clear()
             _sssp_sweep.cache_clear()
     if metrics_path is not None:
@@ -679,6 +739,7 @@ def run_figure(
             runs=session.records,
             figure=data,
             extra_config=extra or None,
+            provenance=pool_ctx.provenance_payload(),
         )
         write_metrics_json(metrics_path, payload)
     return data

@@ -146,3 +146,31 @@ def utilization(rt: "RuntimeSystem") -> UtilizationReport:
             (w.stats.queued_bytes_hwm for w in rt.workers), default=0
         ),
     )
+
+
+def pool_summary(points: List[dict]) -> dict:
+    """Aggregate sweep-pool provenance into an efficiency report.
+
+    ``points`` are the per-point provenance dicts the pool records
+    (index, cache_hit, worker, wall_s, ...). The summary answers the
+    fleet questions: how many points were free cache hits, how the
+    executed work spread across workers, and how much execution
+    wall-clock the pool absorbed (``exec_wall_s`` is the *sum* over
+    points — with N busy workers the elapsed time is roughly 1/N of
+    it; the gap between them is the parallel win).
+    """
+    executed = [p for p in points if not p.get("cache_hit")]
+    per_worker: dict = {}
+    for p in executed:
+        stats = per_worker.setdefault(
+            str(p.get("worker", 0)), {"points": 0, "wall_s": 0.0}
+        )
+        stats["points"] += 1
+        stats["wall_s"] += p.get("wall_s", 0.0)
+    return {
+        "n_points": len(points),
+        "cache_hits": len(points) - len(executed),
+        "executed": len(executed),
+        "exec_wall_s": sum(p.get("wall_s", 0.0) for p in executed),
+        "workers": dict(sorted(per_worker.items())),
+    }

@@ -1,0 +1,538 @@
+"""Parallel sweep executor: a work-stealing process pool over grid points.
+
+PR 5 made a single simulated run fast on one core; this module makes
+*sweeps* fast on all of them. A sweep (or figure) is enumerated into
+self-describing point specs — ``fn(seed=..., **params)`` with a grid
+index — and :func:`map_points` dispatches them:
+
+* **Work-stealing dispatch.** Worker processes pull point indices from
+  one shared queue, so skewed point costs (a 32-node WW point next to a
+  1-node PP point) never serialize the tail behind a static partition.
+* **Deterministic merge.** Results (metric values *and* per-run
+  observability snapshots) are shipped back and merged strictly by grid
+  index, so the aggregated :class:`~repro.harness.sweep.SweepResult`
+  and the ``repro.run-metrics`` artifact are identical to a serial run
+  (see :func:`repro.harness.artifact.canonical_metrics_bytes` for the
+  precise notion: everything except the volatile provenance fields —
+  worker ids and wall-clock — is byte-for-byte equal).
+* **Content-addressed caching.** With a cache directory configured,
+  every completed point is persisted under its
+  :func:`~repro.harness.cache.point_key`; re-runs of identical points
+  are free, and an interrupted sweep resumes from the finished points.
+* **Seed hygiene.** Every executor (the serial path and each worker
+  process) scrambles the ambient global RNGs (``random``,
+  ``numpy.random``) before running points, with a *different* token per
+  worker. A point function that leaks dependence on ambient global
+  state therefore diverges between ``--parallel 1`` and ``--parallel
+  8`` and trips the byte-identity tests — results must derive only
+  from the point spec's seed.
+
+Processes are forked lazily per :func:`map_points` call, so ambient
+sessions (:class:`~repro.faults.FaultSession`,
+:class:`~repro.flow.FlowSession`, :class:`~repro.obs.ObsSession`)
+entered by the caller are inherited by the workers; fork is also what
+lets arbitrary in-process callables (closures, partials) run in workers
+without pickling. On platforms without ``fork`` the executor degrades
+to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import HarnessError
+from repro.harness.cache import ResultCache, point_key
+
+#: Scramble bases for the ambient-RNG guard (arbitrary, fixed).
+_GUARD_SEED = 0x5EED_CA5E
+
+
+class SweepInterrupted(HarnessError):
+    """A sweep stopped early after exhausting its point budget.
+
+    Completed points were already persisted to the cache, so re-invoking
+    the same sweep with the same cache directory resumes where it
+    stopped (``repro sweep --resume``).
+    """
+
+    def __init__(self, executed: int, remaining: int) -> None:
+        super().__init__(
+            f"sweep interrupted after {executed} executed point(s); "
+            f"{remaining} point(s) remain — re-run with the same cache "
+            f"directory to resume"
+        )
+        self.executed = executed
+        self.remaining = remaining
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One self-describing grid point of a sweep."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+    #: Content-address of the point (None when caching is off).
+    key: Optional[str] = None
+
+
+@dataclass
+class PointOutcome:
+    """The merged result of one point, in grid-index order."""
+
+    spec: PointSpec
+    value: Any
+    #: Per-run observability snapshots produced by this point.
+    records: List[dict] = field(default_factory=list)
+    cache_hit: bool = False
+    #: Executor id: 0 = the parent (serial path), 1..N = pool workers.
+    worker: int = 0
+    wall_s: float = 0.0
+
+
+@dataclass
+class PoolConfig:
+    """How a pool session executes points."""
+
+    #: Number of worker processes; <=1 runs points in-process.
+    parallel: int = 1
+    #: Cache directory; ``None`` disables persistence entirely.
+    cache_dir: Optional[Path] = None
+    #: Read previously cached points (turned off by ``--fresh``).
+    cache_read: bool = True
+    #: Persist newly executed points.
+    cache_write: bool = True
+    #: Execute at most this many points (cache hits are free), then
+    #: raise :class:`SweepInterrupted` — the resumability test hook.
+    max_executions: Optional[int] = None
+
+
+class PoolContext:
+    """Ambient state for one sweep/figure invocation."""
+
+    def __init__(self, config: PoolConfig) -> None:
+        self.config = config
+        self.cache: Optional[ResultCache] = (
+            ResultCache(config.cache_dir) if config.cache_dir is not None else None
+        )
+        #: Per-point provenance dicts, in completion-merge order.
+        self.provenance: List[dict] = []
+        self.executed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def budget_remaining(self) -> Optional[int]:
+        if self.config.max_executions is None:
+            return None
+        return max(0, self.config.max_executions - self.executed)
+
+    def record(self, tag: str, outcome: PointOutcome) -> None:
+        self.provenance.append(
+            {
+                "index": outcome.spec.index,
+                "tag": tag,
+                "params": dict(outcome.spec.params),
+                "seed": outcome.spec.seed,
+                "key": outcome.spec.key,
+                "cache_hit": outcome.cache_hit,
+                "worker": outcome.worker,
+                "wall_s": outcome.wall_s,
+            }
+        )
+        if outcome.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+
+    def provenance_payload(self) -> Optional[dict]:
+        """The artifact's provenance block (None when nothing ran)."""
+        if not self.provenance:
+            return None
+        from repro.harness.metrics import pool_summary
+
+        return {
+            "parallel": self.config.parallel,
+            "cache_dir": (
+                str(self.config.cache_dir)
+                if self.config.cache_dir is not None
+                else None
+            ),
+            "points": list(self.provenance),
+            "summary": pool_summary(self.provenance),
+        }
+
+
+_active: Optional[PoolContext] = None
+
+
+@contextmanager
+def pool_session(config: Optional[PoolConfig] = None):
+    """Install a :class:`PoolContext` as the ambient executor.
+
+    Sessions nest; the innermost wins, mirroring the obs/fault/flow
+    session idiom.
+    """
+    global _active
+    ctx = PoolContext(config if config is not None else PoolConfig())
+    prev = _active
+    _active = ctx
+    try:
+        yield ctx
+    finally:
+        _active = prev
+
+
+def active_pool() -> Optional[PoolContext]:
+    """The innermost active pool context, if any."""
+    return _active
+
+
+# ----------------------------------------------------------------------
+# Point execution
+# ----------------------------------------------------------------------
+def _scramble_ambient_rng(token: int) -> None:
+    """Deterministically perturb the global RNGs, per executor.
+
+    Point results must be functions of the point spec alone. Serial and
+    parallel executors scramble to *different* states, so any point
+    function secretly reading ambient global randomness produces
+    diverging sweeps and fails the parallel-vs-serial identity tests
+    instead of silently passing.
+    """
+    random.seed(_GUARD_SEED ^ token)
+    try:
+        import numpy as np
+
+        np.random.seed((_GUARD_SEED ^ token) % (2**32))
+    except ImportError:  # pragma: no cover
+        pass
+
+
+def _fn_tag(fn: Callable[..., Any]) -> Optional[str]:
+    """A stable cache tag for ``fn``, or None when there isn't one."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        return None
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        return None
+    return f"{module}.{qualname}"
+
+
+def _execute_point(
+    fn: Callable[..., Any], spec: PointSpec, collect_obs: bool
+):
+    """Run one point, capturing its obs records and wall time.
+
+    Inside an active :class:`~repro.obs.ObsSession` the point's runs
+    report there naturally and the new tail of ``records`` is the
+    capture; otherwise (when records are still needed, e.g. to populate
+    a cache entry) the point runs under its own private session.
+    """
+    from repro.obs import ObsConfig, ObsSession, active_session
+
+    session = active_session()
+    own: Optional[ObsSession] = None
+    if collect_obs and session is None:
+        own = ObsSession(ObsConfig())
+        own.__enter__()
+        session = own
+    try:
+        before = len(session.records) if session is not None else 0
+        t0 = time.perf_counter()
+        value = fn(seed=spec.seed, **spec.params)
+        wall = time.perf_counter() - t0
+        records = session.records[before:] if session is not None else []
+    finally:
+        if own is not None:
+            own.__exit__(None, None, None)
+    return value, records, wall
+
+
+def _worker_main(worker_id, fn, specs, collect_obs, taskq, resq):
+    """Pool worker: pull indices off the shared queue until sentinel."""
+    _scramble_ambient_rng(worker_id)
+    while True:
+        slot = taskq.get()
+        if slot is None:
+            return
+        spec = specs[slot]
+        try:
+            value, records, wall = _execute_point(fn, spec, collect_obs)
+            resq.put((slot, worker_id, value, records, wall, None))
+        except BaseException:
+            resq.put((slot, worker_id, None, [], 0.0, traceback.format_exc()))
+
+
+def _run_parallel(
+    fn: Callable[..., Any],
+    specs: Sequence[PointSpec],
+    todo: Sequence[int],
+    nworkers: int,
+    collect_obs: bool,
+    on_done: Callable[[int, PointOutcome], None],
+) -> None:
+    """Execute ``specs[i] for i in todo`` across ``nworkers`` processes."""
+    ctx = multiprocessing.get_context("fork")
+    taskq = ctx.SimpleQueue()
+    resq = ctx.SimpleQueue()
+    for slot in todo:
+        taskq.put(slot)
+    for _ in range(nworkers):
+        taskq.put(None)
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(wid + 1, fn, specs, collect_obs, taskq, resq),
+            daemon=True,
+        )
+        for wid in range(nworkers)
+    ]
+    for proc in workers:
+        proc.start()
+    failure: Optional[str] = None
+    try:
+        for _ in range(len(todo)):
+            slot, worker_id, value, records, wall, err = resq.get()
+            if err is not None:
+                if failure is None:
+                    failure = err
+                continue
+            on_done(
+                slot,
+                PointOutcome(
+                    spec=specs[slot],
+                    value=value,
+                    records=records,
+                    worker=worker_id,
+                    wall_s=wall,
+                ),
+            )
+        for proc in workers:
+            proc.join()
+    finally:
+        for proc in workers:
+            if proc.is_alive():  # pragma: no cover - error paths
+                proc.terminate()
+                proc.join()
+    if failure is not None:
+        raise HarnessError(f"sweep point failed in worker:\n{failure}")
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover
+        return False
+
+
+# ----------------------------------------------------------------------
+# The executor front door
+# ----------------------------------------------------------------------
+def map_points(
+    fn: Callable[..., Any],
+    grid: Sequence[Mapping[str, Any]],
+    *,
+    tag: Optional[str] = None,
+    seeds: Sequence[int] = (0,),
+    pool: Optional[PoolContext] = None,
+) -> List[PointOutcome]:
+    """Evaluate ``fn(seed=s, **params)`` for every (params, seed) point.
+
+    Points are enumerated in grid-major order (all seeds of a cell are
+    adjacent) and the returned outcomes are in that exact order no
+    matter how execution was scheduled. Uses the ambient pool context
+    (serial, cache off) when none is active or passed.
+
+    When the context carries a cache, hits are replayed (value + obs
+    records) without executing, and completed points are persisted as
+    they finish — which is what makes interrupted sweeps resumable.
+    """
+    ctx = pool if pool is not None else active_pool()
+    if ctx is None:
+        ctx = PoolContext(PoolConfig())
+    cache = ctx.cache
+    resolved_tag = tag or _fn_tag(fn)
+    if cache is not None and resolved_tag is None:
+        raise HarnessError(
+            "result caching needs a stable point tag: pass tag=... when "
+            "the metric fn is a lambda, a closure or a partial"
+        )
+    if resolved_tag is None:
+        resolved_tag = repr(fn)
+
+    faults_plan = flow_cfg = None
+    if cache is not None:
+        from repro.faults.context import active_fault_plan
+        from repro.flow.context import active_flow_config
+
+        faults_plan = active_fault_plan()
+        flow_cfg = active_flow_config()
+
+    specs: List[PointSpec] = []
+    for params in grid:
+        for seed in seeds:
+            key = None
+            if cache is not None:
+                key = point_key(
+                    tag=resolved_tag,
+                    params=params,
+                    seed=seed,
+                    costs=params.get("costs"),
+                    faults=faults_plan,
+                    flow=flow_cfg,
+                )
+            specs.append(
+                PointSpec(
+                    index=len(specs), params=dict(params), seed=seed, key=key
+                )
+            )
+
+    # Observability records are captured per point whenever the caller
+    # is collecting them (active ObsSession) or the cache needs them to
+    # make entries replayable.
+    from repro.obs import active_session
+
+    parent_session = active_session()
+    collect_obs = parent_session is not None or cache is not None
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
+
+    # Resolve cache hits up front; only misses are dispatched.
+    todo: List[int] = []
+    for spec in specs:
+        entry = None
+        if cache is not None and ctx.config.cache_read and spec.key:
+            entry = cache.get(spec.key)
+        if entry is not None:
+            outcomes[spec.index] = PointOutcome(
+                spec=spec,
+                value=entry.get("value"),
+                records=list(entry.get("records") or ()),
+                cache_hit=True,
+            )
+        else:
+            todo.append(spec.index)
+
+    budget = ctx.budget_remaining()
+    deferred = 0
+    if budget is not None and len(todo) > budget:
+        deferred = len(todo) - budget
+        todo = todo[:budget]
+
+    def finish(slot: int, outcome: PointOutcome) -> None:
+        if cache is not None and ctx.config.cache_write and outcome.spec.key:
+            cache.put(
+                outcome.spec.key,
+                {
+                    "tag": resolved_tag,
+                    "params": dict(outcome.spec.params),
+                    "seed": outcome.spec.seed,
+                    "value": outcome.value,
+                    "records": outcome.records,
+                    "meta": {"wall_s": outcome.wall_s, "worker": outcome.worker},
+                },
+            )
+        outcomes[slot] = outcome
+
+    # Execute and merge. Observability snapshots must land in the
+    # parent session in strict grid-index order regardless of schedule
+    # and cache state, so artifacts never depend on either.
+    nworkers = min(max(1, ctx.config.parallel), max(1, len(todo)))
+    if todo and nworkers > 1 and _fork_available():
+        # Parallel: workers report nothing to the parent session during
+        # execution; absorb every point's records afterwards, in order.
+        _run_parallel(fn, specs, todo, nworkers, collect_obs, finish)
+        if parent_session is not None:
+            for outcome in outcomes:
+                if outcome is not None:
+                    parent_session.absorb(outcome.records)
+    else:
+        # Serial: walk specs in index order, interleaving cache-hit
+        # replays (absorbed) with in-process executions (which report
+        # into the parent session naturally as they run).
+        todo_set = set(todo)
+        if todo_set:
+            _scramble_ambient_rng(0)
+        for spec in specs:
+            outcome = outcomes[spec.index]
+            if outcome is not None:
+                if parent_session is not None:
+                    parent_session.absorb(outcome.records)
+            elif spec.index in todo_set:
+                value, records, wall = _execute_point(fn, spec, collect_obs)
+                finish(
+                    spec.index,
+                    PointOutcome(
+                        spec=spec, value=value, records=records, wall_s=wall
+                    ),
+                )
+
+    done: List[PointOutcome] = []
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        ctx.record(resolved_tag, outcome)
+        done.append(outcome)
+
+    if deferred:
+        raise SweepInterrupted(executed=ctx.executed, remaining=deferred)
+    return done
+
+
+# ----------------------------------------------------------------------
+# App-backed sweep points (the `repro sweep` CLI's metric functions)
+# ----------------------------------------------------------------------
+#: Benchmark apps the generic sweep CLI can drive. Values: (runner
+#: import path, takes a scheme argument).
+SWEEP_APPS = {
+    "histogram": ("repro.apps", "run_histogram", True),
+    "indexgather": ("repro.apps", "run_indexgather", True),
+    "alltoall": ("repro.apps", "run_alltoall", True),
+    "phold": ("repro.apps", "run_phold", True),
+    "pingack": ("repro.apps", "run_pingack", False),
+}
+
+
+def run_app_point(app: str, metric: str, seed: int = 0, **params: Any) -> float:
+    """One CLI sweep point: run ``app`` and read ``metric`` off its result.
+
+    Machine axes ``nodes``/``ppn``/``wpp`` (defaults 2/2/4, the
+    harness's scaled Delta node) and a ``scheme`` axis are recognized;
+    every other parameter is passed to the app runner unchanged.
+    """
+    import importlib
+
+    try:
+        mod_name, fn_name, takes_scheme = SWEEP_APPS[app]
+    except KeyError:
+        raise HarnessError(
+            f"unknown sweep app {app!r}; known: {', '.join(sorted(SWEEP_APPS))}"
+        ) from None
+    runner = getattr(importlib.import_module(mod_name), fn_name)
+
+    from repro.machine import MachineConfig
+
+    kwargs = dict(params)
+    machine = MachineConfig(
+        nodes=int(kwargs.pop("nodes", 2)),
+        processes_per_node=int(kwargs.pop("ppn", 2)),
+        workers_per_process=int(kwargs.pop("wpp", 4)),
+    )
+    scheme = kwargs.pop("scheme", "WPs")
+    args = (machine, scheme) if takes_scheme else (machine,)
+    result = runner(*args, seed=seed, **kwargs)
+    try:
+        value = getattr(result, metric)
+    except AttributeError:
+        raise HarnessError(
+            f"app {app!r} result has no metric {metric!r}"
+        ) from None
+    return float(value)

@@ -6,13 +6,21 @@ for *new* studies: run a factory over a parameter grid, optionally
 replicating each cell over seeds to get error bars (the simulator is
 deterministic per seed, so seed variation plays the role of the paper's
 multiple trials).
+
+Execution goes through :mod:`repro.harness.pool`: grid points can be
+dispatched to a work-stealing process pool (``parallel=N``) and/or
+persisted in a content-addressed result cache (``cache_dir=...``), with
+results merged deterministically by grid index so the aggregated
+:class:`SweepResult` and metrics artifact do not depend on the
+schedule.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import HarnessError
 from repro.util.stats import mean_std
@@ -26,6 +34,10 @@ class SweepCell:
     params: Dict[str, Any]
     #: Per-seed metric values, in seed order.
     values: Tuple[float, ...]
+    #: Per-seed execution wall-clock (0.0 for replayed cache hits).
+    wall_s: Tuple[float, ...] = ()
+    #: How many of this cell's seed-runs were served from the cache.
+    cache_hits: int = 0
 
     @property
     def mean(self) -> float:
@@ -51,12 +63,21 @@ class SweepResult:
                 return c
         raise KeyError(params)
 
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.cells)
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(c.values) for c in self.cells)
+
     def to_table(self) -> str:
         """Render the grid as a table (one row per cell)."""
         names = list(self.axes)
-        headers = names + [f"{self.metric} (mean)", "std"]
+        headers = names + [f"{self.metric} (mean)", "std", "wall (s)", "cache"]
         rows = [
-            [c.params[n] for n in names] + [c.mean, c.std]
+            [c.params[n] for n in names]
+            + [c.mean, c.std, sum(c.wall_s), f"{c.cache_hits}/{len(c.values)}"]
             for c in self.cells
         ]
         return render_table(headers, rows)
@@ -70,6 +91,11 @@ def run_sweep(
     metric: str = "value",
     metrics_path=None,
     flow=None,
+    parallel: int = 1,
+    cache_dir: Optional[Path] = None,
+    fresh: bool = False,
+    tag: Optional[str] = None,
+    max_executions: Optional[int] = None,
 ) -> SweepResult:
     """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
 
@@ -77,7 +103,9 @@ def run_sweep(
     ----------
     fn:
         Callable returning one float metric. It must accept every axis
-        name as a keyword argument plus ``seed``.
+        name as a keyword argument plus ``seed``, and its result must
+        depend only on those arguments (no ambient global RNG — the
+        pool scrambles global RNG state per executor to enforce this).
     axes:
         Mapping of parameter name to the values to sweep.
     seeds:
@@ -91,6 +119,23 @@ def run_sweep(
         Optional :class:`~repro.flow.FlowConfig` (or spec string for
         :meth:`~repro.flow.FlowConfig.parse`): run every cell with
         credit-based flow control active.
+    parallel:
+        Worker processes for the point executor; 1 (default) runs the
+        grid serially in-process. The aggregated result is identical
+        either way — only wall-clock changes.
+    cache_dir:
+        Content-addressed result cache directory. Previously completed
+        identical points are replayed for free, newly executed points
+        are persisted as they finish (interrupted sweeps resume).
+    fresh:
+        Ignore existing cache entries (still writes fresh ones).
+    tag:
+        Stable cache identity for ``fn``; required with ``cache_dir``
+        when ``fn`` is a lambda/closure/partial.
+    max_executions:
+        Execute at most this many points, then raise
+        :class:`~repro.harness.pool.SweepInterrupted` (cache hits are
+        free). Exists to exercise resumability.
 
     Examples
     --------
@@ -104,7 +149,10 @@ def run_sweep(
     if not seeds:
         raise HarnessError("sweep needs at least one seed")
     names = list(axes)
-    result = SweepResult(axes=dict(axes), metric=metric)
+    combos = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[n] for n in names))
+    ]
 
     fcfg = None
     if flow is not None:
@@ -114,30 +162,51 @@ def run_sweep(
         if not fcfg.enabled:
             fcfg = None
 
-    def _grid() -> None:
-        from contextlib import ExitStack
+    from contextlib import ExitStack
 
-        with ExitStack() as stack:
-            if fcfg is not None:
-                from repro.flow import FlowSession
+    from repro.harness.pool import PoolConfig, map_points, pool_session
 
-                stack.enter_context(FlowSession(fcfg))
-            for combo in itertools.product(*(axes[n] for n in names)):
-                params = dict(zip(names, combo))
-                values = tuple(float(fn(seed=seed, **params)) for seed in seeds)
-                result.cells.append(SweepCell(params=params, values=values))
+    pcfg = PoolConfig(
+        parallel=parallel,
+        cache_dir=cache_dir,
+        cache_read=not fresh,
+        cache_write=True,
+        max_executions=max_executions,
+    )
+
+    session = None
+    with ExitStack() as stack:
+        if fcfg is not None:
+            from repro.flow import FlowSession
+
+            stack.enter_context(FlowSession(fcfg))
+        if metrics_path is not None:
+            from repro.obs import ObsConfig, ObsSession
+
+            session = stack.enter_context(ObsSession(ObsConfig()))
+        ctx = stack.enter_context(pool_session(pcfg))
+        outcomes = map_points(fn, combos, tag=tag, seeds=seeds)
+
+    result = SweepResult(axes=dict(axes), metric=metric)
+    n_seeds = len(seeds)
+    for ci, params in enumerate(combos):
+        chunk = outcomes[ci * n_seeds : (ci + 1) * n_seeds]
+        result.cells.append(
+            SweepCell(
+                params=params,
+                values=tuple(float(o.value) for o in chunk),
+                wall_s=tuple(o.wall_s for o in chunk),
+                cache_hits=sum(1 for o in chunk if o.cache_hit),
+            )
+        )
 
     if metrics_path is None:
-        _grid()
         return result
 
     from dataclasses import asdict as _asdict
 
     from repro.harness.artifact import build_metrics_payload, write_metrics_json
-    from repro.obs import ObsConfig, ObsSession
 
-    with ObsSession(ObsConfig()) as session:
-        _grid()
     extra = {"axes": {n: list(axes[n]) for n in names}, "seeds": list(seeds)}
     if fcfg is not None:
         extra["flow"] = _asdict(fcfg)
@@ -147,6 +216,7 @@ def run_sweep(
         runs=session.records,
         sweep=result,
         extra_config=extra,
+        provenance=ctx.provenance_payload(),
     )
     write_metrics_json(metrics_path, payload)
     return result

@@ -163,22 +163,37 @@ CHECKERS: Dict[str, Checker] = {
 }
 
 
-def validate_figure(fig_id: str, profile: str = "quick") -> CheckResult:
-    """Regenerate one figure and check its shape claim."""
+def validate_figure(
+    fig_id: str,
+    profile: str = "quick",
+    parallel: int = 1,
+    cache_dir=None,
+) -> CheckResult:
+    """Regenerate one figure and check its shape claim.
+
+    ``parallel``/``cache_dir`` configure the sweep pool for the
+    figure's grid points (identical data, less wall-clock).
+    """
     checker = CHECKERS.get(fig_id)
     if checker is None:
         raise HarnessError(f"no checker for {fig_id!r}")
-    data = run_figure(fig_id, profile)
+    data = run_figure(fig_id, profile, parallel=parallel, cache_dir=cache_dir)
     passed, details = checker(data)
     return CheckResult(fig_id=fig_id, passed=passed, details=details)
 
 
 def validate_reproduction(
-    profile: str = "quick", figures: Optional[Iterable[str]] = None
+    profile: str = "quick",
+    figures: Optional[Iterable[str]] = None,
+    parallel: int = 1,
+    cache_dir=None,
 ) -> List[CheckResult]:
     """Check the shape claims of the given figures (default: all)."""
     ids = list(figures) if figures is not None else list(FIGURES)
-    return [validate_figure(fig_id, profile) for fig_id in ids]
+    return [
+        validate_figure(fig_id, profile, parallel=parallel, cache_dir=cache_dir)
+        for fig_id in ids
+    ]
 
 
 def render_results(results: List[CheckResult]) -> str:

@@ -77,6 +77,16 @@ class ObsSession:
             snap["events_fired"] = events
         self._snapshots[key] = snap
 
+    def absorb(self, records: List[dict]) -> None:
+        """Append pre-built snapshots in order.
+
+        Used by the sweep pool to merge records produced elsewhere —
+        shipped back from a worker process or replayed from the result
+        cache — at the correct position in this session's record list.
+        """
+        for rec in records:
+            self._snapshots[next(self._keys)] = rec
+
     @property
     def records(self) -> List[dict]:
         """Captured snapshots, in runtime-creation order."""

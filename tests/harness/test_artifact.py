@@ -8,6 +8,7 @@ from repro.harness import cli
 from repro.harness.artifact import (
     METRICS_SCHEMA,
     build_metrics_payload,
+    canonical_metrics_bytes,
     validate_metrics_payload,
     write_metrics_json,
 )
@@ -95,6 +96,87 @@ class TestValidation:
         bad = self._good()
         bad["summary"]["n_runs"] = 99
         assert any("n_runs" in e for e in validate_metrics_payload(bad))
+
+
+class TestProvenanceValidation:
+    def _with_provenance(self, points, summary=None):
+        payload = build_metrics_payload(target="t", profile="p", runs=[])
+        prov = {"parallel": 2, "cache_dir": None, "points": points}
+        if summary is not None:
+            prov["summary"] = summary
+        payload["provenance"] = prov
+        return payload
+
+    def _point(self, index, hit=False):
+        return {"index": index, "cache_hit": hit, "worker": 1,
+                "wall_s": 0.1, "seed": 0}
+
+    def test_absent_provenance_ok(self):
+        payload = build_metrics_payload(target="t", profile="p", runs=[])
+        assert payload["provenance"] is None
+        assert validate_metrics_payload(payload) == []
+
+    def test_well_formed_provenance_ok(self):
+        payload = self._with_provenance(
+            [self._point(0), self._point(1, hit=True)],
+            summary={"n_points": 2, "cache_hits": 1, "executed": 1},
+        )
+        assert validate_metrics_payload(payload) == []
+
+    def test_missing_point_key_detected(self):
+        point = self._point(0)
+        del point["worker"]
+        payload = self._with_provenance([point])
+        assert any("missing 'worker'" in e
+                   for e in validate_metrics_payload(payload))
+
+    def test_points_list_required(self):
+        payload = build_metrics_payload(target="t", profile="p", runs=[])
+        payload["provenance"] = {"parallel": 1}
+        assert any("points" in e for e in validate_metrics_payload(payload))
+
+    def test_summary_inconsistency_detected(self):
+        payload = self._with_provenance(
+            [self._point(0)],
+            summary={"n_points": 1, "cache_hits": 5, "executed": 1},
+        )
+        assert any("cache_hits" in e
+                   for e in validate_metrics_payload(payload))
+
+
+class TestCanonicalBytes:
+    def _payload(self):
+        from repro.harness.sweep import run_sweep
+
+        path_free = run_sweep(
+            lambda x, seed: float(x), {"x": [1, 2]},
+        )
+        payload = build_metrics_payload(
+            target="t", profile="p", runs=[], sweep=path_free,
+            provenance={"parallel": 1, "points": [], "summary": {}},
+        )
+        return payload
+
+    def test_strips_provenance_and_volatile_cell_keys(self):
+        a = self._payload()
+        b = json.loads(json.dumps(a))
+        b["provenance"] = {"parallel": 8, "points": [{"worker": 3}]}
+        for cell in b["sweep"]["cells"]:
+            cell["wall_s"] = [99.0]
+            cell["cache_hits"] = 7
+        assert canonical_metrics_bytes(a) == canonical_metrics_bytes(b)
+
+    def test_detects_result_changes(self):
+        a = self._payload()
+        b = json.loads(json.dumps(a))
+        b["sweep"]["cells"][0]["values"] = [123.0]
+        assert canonical_metrics_bytes(a) != canonical_metrics_bytes(b)
+
+    def test_key_order_irrelevant(self):
+        a = self._payload()
+        b = json.loads(json.dumps(a))
+        b["sweep"] = dict(reversed(list(b["sweep"].items())))
+        assert canonical_metrics_bytes(a) == canonical_metrics_bytes(b)
 
 
 class TestRunFigureArtifact:

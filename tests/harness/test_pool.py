@@ -1,0 +1,398 @@
+"""Tests for the parallel sweep executor and its result cache."""
+
+import functools
+import json
+import random
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import cli
+from repro.harness.artifact import (
+    canonical_metrics_bytes,
+    validate_metrics_payload,
+)
+from repro.harness.cache import CACHE_SCHEMA, ResultCache, point_key
+from repro.harness.pool import (
+    PoolConfig,
+    SweepInterrupted,
+    _scramble_ambient_rng,
+    map_points,
+    pool_session,
+    run_app_point,
+)
+from repro.harness.sweep import run_sweep
+
+# ----------------------------------------------------------------------
+# Module-level point functions (stable tags; visible to forked workers)
+# ----------------------------------------------------------------------
+_CALLS = []
+
+
+def _square(seed, *, x):
+    _CALLS.append((x, seed))
+    return float(x * x + seed)
+
+
+def _boom(seed, *, x):
+    raise ValueError(f"point {x} exploded")
+
+
+def _ambient(seed, *, x):
+    # Deliberately leaks dependence on the global RNG the executor
+    # scrambles — results must differ between serial and parallel.
+    return random.random()
+
+
+#: Tiny histogram config so app-backed tests stay fast.
+_HISTO = functools.partial(
+    run_app_point, "histogram", "total_time_ns",
+    updates_per_pe=200, buffer_items=16, batch=100,
+)
+_HISTO_TAG = "test:histo-tiny"
+_AXES = {"nodes": [1], "scheme": ["WW", "WPs"]}
+
+
+# ----------------------------------------------------------------------
+# Content-addressed keys
+# ----------------------------------------------------------------------
+class TestPointKey:
+    def test_stable(self):
+        a = point_key(tag="t", params={"x": 1}, seed=0)
+        b = point_key(tag="t", params={"x": 1}, seed=0)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_param_order_irrelevant(self):
+        a = point_key(tag="t", params={"x": 1, "y": 2}, seed=0)
+        b = point_key(tag="t", params={"y": 2, "x": 1}, seed=0)
+        assert a == b
+
+    def test_sensitive_to_every_ingredient(self):
+        base = point_key(tag="t", params={"x": 1}, seed=0)
+        assert point_key(tag="u", params={"x": 1}, seed=0) != base
+        assert point_key(tag="t", params={"x": 2}, seed=0) != base
+        assert point_key(tag="t", params={"x": 1}, seed=1) != base
+
+    def test_fault_plan_folds_in(self):
+        from repro.faults import FaultPlan
+
+        clean = point_key(tag="t", params={}, seed=0)
+        faulty = point_key(
+            tag="t", params={}, seed=0, faults=FaultPlan.parse("drop=0.01"),
+        )
+        assert clean != faulty
+
+    def test_flow_config_folds_in(self):
+        from repro.flow import FlowConfig
+
+        clean = point_key(tag="t", params={}, seed=0)
+        flowed = point_key(
+            tag="t", params={}, seed=0, flow=FlowConfig.parse("ct_msgs=8"),
+        )
+        assert clean != flowed
+
+    def test_cost_model_folds_in(self):
+        from repro.machine.costs import CostModel
+
+        default = point_key(tag="t", params={}, seed=0)
+        field = next(iter(CostModel.__dataclass_fields__))
+        tweaked = CostModel(
+            **{field: getattr(CostModel(), field) * 2}
+        )
+        assert point_key(tag="t", params={}, seed=0, costs=tweaked) != default
+
+
+class TestResultCache:
+    def test_roundtrip_and_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(tag="t", params={"x": 1}, seed=0)
+        path = cache.put(key, {"value": 42.0, "records": []})
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        entry = cache.get(key)
+        assert entry["value"] == 42.0
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["key"] == key
+
+    def test_missing_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_file_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_foreign_schema_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": "other/1", "key": key}))
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, {"value": 1.0})
+        moved = "cd" + "0" * 62
+        cache.path_for(moved).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).rename(cache.path_for(moved))
+        assert cache.get(moved) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(point_key(tag="t", params={}, seed=seed), {"value": 0})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class TestMapPointsSerial:
+    def test_grid_major_order(self):
+        outcomes = map_points(_square, [{"x": 1}, {"x": 2}], seeds=(0, 1))
+        assert [o.spec.index for o in outcomes] == [0, 1, 2, 3]
+        assert [o.value for o in outcomes] == [1.0, 2.0, 4.0, 5.0]
+        assert all(not o.cache_hit for o in outcomes)
+
+    def test_lambda_without_cache_ok(self):
+        outcomes = map_points(lambda seed, x: float(x), [{"x": 7}])
+        assert outcomes[0].value == 7.0
+
+    def test_lambda_with_cache_needs_tag(self, tmp_path):
+        with pool_session(PoolConfig(cache_dir=tmp_path)):
+            with pytest.raises(HarnessError, match="stable point tag"):
+                map_points(lambda seed, x: float(x), [{"x": 1}])
+
+    def test_cache_hit_skips_execution(self, tmp_path):
+        grid = [{"x": 3}, {"x": 4}]
+        _CALLS.clear()
+        with pool_session(PoolConfig(cache_dir=tmp_path)):
+            cold = map_points(_square, grid)
+        assert len(_CALLS) == 2
+        with pool_session(PoolConfig(cache_dir=tmp_path)) as ctx:
+            warm = map_points(_square, grid)
+            assert ctx.cache_hits == 2 and ctx.executed == 0
+        assert len(_CALLS) == 2  # nothing re-ran
+        assert [o.value for o in warm] == [o.value for o in cold]
+        assert all(o.cache_hit for o in warm)
+
+    def test_fresh_ignores_cache_but_rewrites(self, tmp_path):
+        grid = [{"x": 5}]
+        with pool_session(PoolConfig(cache_dir=tmp_path)):
+            map_points(_square, grid)
+        _CALLS.clear()
+        with pool_session(
+            PoolConfig(cache_dir=tmp_path, cache_read=False)
+        ) as ctx:
+            map_points(_square, grid)
+            assert ctx.executed == 1 and ctx.cache_hits == 0
+        assert len(_CALLS) == 1
+
+    def test_budget_interrupts_then_resumes(self, tmp_path):
+        grid = [{"x": i} for i in range(4)]
+        with pool_session(
+            PoolConfig(cache_dir=tmp_path, max_executions=2)
+        ):
+            with pytest.raises(SweepInterrupted) as exc:
+                map_points(_square, grid)
+        assert exc.value.executed == 2
+        assert exc.value.remaining == 2
+        assert len(ResultCache(tmp_path)) == 2  # finished points persisted
+        with pool_session(PoolConfig(cache_dir=tmp_path)) as ctx:
+            outcomes = map_points(_square, grid)
+            assert ctx.cache_hits == 2 and ctx.executed == 2
+        assert [o.value for o in outcomes] == [0.0, 1.0, 4.0, 9.0]
+
+    def test_provenance_recorded(self):
+        with pool_session() as ctx:
+            map_points(_square, [{"x": 1}], seeds=(0, 1))
+            payload = ctx.provenance_payload()
+        assert [p["index"] for p in payload["points"]] == [0, 1]
+        assert payload["summary"]["n_points"] == 2
+        assert payload["summary"]["executed"] == 2
+        assert payload["summary"]["cache_hits"] == 0
+
+
+class TestMapPointsParallel:
+    def test_matches_serial(self):
+        grid = [{"x": i} for i in range(6)]
+        serial = map_points(_square, grid, seeds=(0, 1))
+        with pool_session(PoolConfig(parallel=3)) as ctx:
+            par = map_points(_square, grid, seeds=(0, 1))
+            workers = {p["worker"] for p in ctx.provenance}
+        assert [o.value for o in par] == [o.value for o in serial]
+        assert [o.spec.index for o in par] == list(range(12))
+        assert workers <= {1, 2, 3} and workers  # pool workers, not parent
+
+    def test_worker_error_propagates(self):
+        with pool_session(PoolConfig(parallel=2)):
+            with pytest.raises(HarnessError, match="exploded"):
+                map_points(_boom, [{"x": 0}, {"x": 1}])
+
+    def test_ambient_rng_leak_diverges(self):
+        """A point fn reading global RNG must not survive the identity
+        tests: serial (token 0) and workers (tokens 1..N) scramble the
+        ambient RNGs differently on purpose."""
+        serial = map_points(_ambient, [{"x": 0}])
+        with pool_session(PoolConfig(parallel=2)):
+            par = map_points(_ambient, [{"x": 0}, {"x": 1}])
+        assert par[0].value != serial[0].value
+
+    def test_parallel_populates_shared_cache(self, tmp_path):
+        grid = [{"x": i} for i in range(4)]
+        with pool_session(PoolConfig(parallel=2, cache_dir=tmp_path)):
+            map_points(_square, grid)
+        assert len(ResultCache(tmp_path)) == 4
+        with pool_session(PoolConfig(cache_dir=tmp_path)) as ctx:
+            map_points(_square, grid)
+            assert ctx.cache_hits == 4 and ctx.executed == 0
+
+
+class TestScramble:
+    def test_deterministic_per_token(self):
+        _scramble_ambient_rng(1)
+        a = random.random()
+        _scramble_ambient_rng(1)
+        b = random.random()
+        assert a == b
+
+    def test_tokens_diverge(self):
+        _scramble_ambient_rng(0)
+        a = random.random()
+        _scramble_ambient_rng(1)
+        b = random.random()
+        assert a != b
+
+
+# ----------------------------------------------------------------------
+# End-to-end determinism and resumability (satellites 1 and 3)
+# ----------------------------------------------------------------------
+class TestSweepDeterminism:
+    def test_parallel_artifact_byte_identical_to_serial(self, tmp_path):
+        """--parallel 1 and --parallel 8 must produce byte-identical
+        artifacts modulo the volatile provenance fields."""
+        kw = dict(seeds=(0, 1), metrics_path=None, tag=_HISTO_TAG)
+        p1 = tmp_path / "serial.json"
+        p8 = tmp_path / "par8.json"
+        r1 = run_sweep(_HISTO, _AXES, metrics_path=p1, **{
+            k: v for k, v in kw.items() if k != "metrics_path"})
+        r8 = run_sweep(_HISTO, _AXES, metrics_path=p8, parallel=8, **{
+            k: v for k, v in kw.items() if k != "metrics_path"})
+        assert [c.values for c in r8.cells] == [c.values for c in r1.cells]
+        a = json.loads(p1.read_text())
+        b = json.loads(p8.read_text())
+        assert validate_metrics_payload(a) == []
+        assert validate_metrics_payload(b) == []
+        assert canonical_metrics_bytes(a) == canonical_metrics_bytes(b)
+        # Provenance itself legitimately differs (worker ids, wall).
+        assert a["provenance"]["parallel"] == 1
+        assert b["provenance"]["parallel"] == 8
+
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold_p = tmp_path / "cold.json"
+        warm_p = tmp_path / "warm.json"
+        run_sweep(_HISTO, _AXES, seeds=(0,), tag=_HISTO_TAG,
+                  cache_dir=cache, metrics_path=cold_p)
+        warm = run_sweep(_HISTO, _AXES, seeds=(0,), tag=_HISTO_TAG,
+                         cache_dir=cache, metrics_path=warm_p)
+        assert warm.total_cache_hits == warm.total_points == 2
+        a = json.loads(cold_p.read_text())
+        b = json.loads(warm_p.read_text())
+        assert b["provenance"]["summary"]["executed"] == 0
+        assert canonical_metrics_bytes(a) == canonical_metrics_bytes(b)
+
+    def test_interrupted_sweep_resumes_to_identical_artifact(self, tmp_path):
+        ref_p = tmp_path / "ref.json"
+        res_p = tmp_path / "resumed.json"
+        cache = tmp_path / "cache"
+        run_sweep(_HISTO, _AXES, tag=_HISTO_TAG, metrics_path=ref_p)
+        with pytest.raises(SweepInterrupted) as exc:
+            run_sweep(_HISTO, _AXES, tag=_HISTO_TAG, cache_dir=cache,
+                      max_executions=1)
+        assert exc.value.executed == 1 and exc.value.remaining == 1
+        resumed = run_sweep(_HISTO, _AXES, tag=_HISTO_TAG, cache_dir=cache,
+                            metrics_path=res_p)
+        assert resumed.total_cache_hits == 1  # only the missing point ran
+        ref = json.loads(ref_p.read_text())
+        res = json.loads(res_p.read_text())
+        assert canonical_metrics_bytes(res) == canonical_metrics_bytes(ref)
+
+
+# ----------------------------------------------------------------------
+# App-backed points and the `sweep` CLI target
+# ----------------------------------------------------------------------
+class TestRunAppPoint:
+    def test_returns_float_metric(self):
+        value = run_app_point(
+            "histogram", "total_time_ns", seed=0,
+            nodes=1, scheme="WPs", updates_per_pe=100, buffer_items=16,
+            batch=100,
+        )
+        assert isinstance(value, float) and value > 0
+
+    def test_unknown_app(self):
+        with pytest.raises(HarnessError, match="unknown sweep app"):
+            run_app_point("nope", "total_time_ns")
+
+    def test_unknown_metric(self):
+        with pytest.raises(HarnessError, match="no metric"):
+            run_app_point(
+                "histogram", "nope", nodes=1, updates_per_pe=100,
+                buffer_items=16, batch=100,
+            )
+
+
+class TestSweepCli:
+    ARGS = [
+        "sweep", "--app", "histogram",
+        "--axes", "nodes=1;scheme=WW,WPs",
+        "--fixed", "updates_per_pe=200,buffer_items=16,batch=100",
+    ]
+
+    def test_sweep_no_cache(self, capsys):
+        rc = cli.main(self.ARGS + ["--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total_time_ns (mean)" in out
+        assert "0 cache hit(s), 2 executed" in out
+
+    def test_sweep_interrupt_then_resume(self, tmp_path, capsys):
+        cached = self.ARGS + ["--cache-dir", str(tmp_path)]
+        rc = cli.main(cached + ["--max-points", "1"])
+        assert rc == 3
+        assert "sweep interrupted" in capsys.readouterr().err
+        rc = cli.main(cached + ["--resume"])
+        assert rc == 0
+        assert "1 cache hit(s), 1 executed" in capsys.readouterr().out
+
+    def test_sweep_warm_cache_all_hits(self, tmp_path, capsys):
+        cached = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert cli.main(cached) == 0
+        capsys.readouterr()
+        assert cli.main(cached) == 0
+        assert "2 cache hit(s), 0 executed" in capsys.readouterr().out
+
+    def test_sweep_metrics_artifact(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        rc = cli.main(self.ARGS + ["--no-cache", "--metrics-out", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert validate_metrics_payload(payload) == []
+        assert payload["provenance"]["summary"]["n_points"] == 2
+
+    def test_sweep_needs_axes(self, capsys):
+        rc = cli.main(["sweep", "--app", "histogram"])
+        assert rc == 2
+        assert "--axes" in capsys.readouterr().err
+
+    def test_sweep_bad_axes(self, capsys):
+        rc = cli.main(["sweep", "--axes", "garbage"])
+        assert rc == 2

@@ -36,6 +36,30 @@ class TestRunSweep:
         assert "time_ms" in table
         assert len(table.splitlines()) == 4
 
+    def test_table_has_execution_columns(self):
+        res = run_sweep(lambda x, seed: float(x), {"x": [1, 2]})
+        table = res.to_table()
+        assert "wall (s)" in table
+        assert "cache" in table
+        assert "0/1" in table  # no cache configured: zero hits per cell
+
+    def test_cells_carry_wall_clock(self):
+        res = run_sweep(lambda x, seed: float(x), {"x": [1]}, seeds=[0, 1])
+        cell = res.cell(x=1)
+        assert len(cell.wall_s) == len(cell.values) == 2
+        assert all(w >= 0.0 for w in cell.wall_s)
+        assert cell.cache_hits == 0
+        assert res.total_points == 2
+        assert res.total_cache_hits == 0
+
+    def test_parallel_matches_serial(self):
+        def fn(a, seed):
+            return float(a * 100 + seed)
+
+        serial = run_sweep(fn, {"a": [1, 2, 3]}, seeds=[0, 1])
+        par = run_sweep(fn, {"a": [1, 2, 3]}, seeds=[0, 1], parallel=3)
+        assert [c.values for c in par.cells] == [c.values for c in serial.cells]
+
     def test_missing_cell_raises(self):
         res = run_sweep(lambda x, seed: float(x), {"x": [1]})
         with pytest.raises(KeyError):
