@@ -15,7 +15,7 @@ import time
 import numpy as np
 
 from repro.machine import MachineConfig
-from repro.obs import ObsConfig
+from repro.obs import ObsConfig, TimelineConfig
 from repro.runtime.system import RuntimeSystem
 from repro.tram import TramConfig, make_scheme
 
@@ -72,6 +72,55 @@ def test_disabled_obs_is_free():
         f"disabled observability costs {ratio:.3f}x baseline "
         f"(limit {MAX_RATIO}x)"
     )
+
+
+def test_timeline_sampling_overhead_bounded():
+    """The flight recorder at its default cadence must stay under 5%.
+
+    Sampling is driven from the engine loop as a single float compare
+    per event plus a probe walk at each cadence boundary, so the cost
+    scales with boundaries crossed, not events processed. Compared
+    against the *enabled-obs* run (the recorder requires obs on), so
+    the ratio isolates the sampler itself. Gated on the *best*
+    back-to-back paired ratio: both halves of a pair see the same
+    machine state, so a systematic >5% sampler cost shifts every pair
+    and the min still trips, while one-off scheduler stalls on either
+    side cannot fake a regression.
+    """
+    tl = ObsConfig(timeline=TimelineConfig())  # default 50us cadence
+    _time(ObsConfig())  # warm imports / allocator before timed repeats
+    ratios = sorted(
+        _time(tl) / _time(ObsConfig()) for _ in range(REPEATS)
+    )
+    assert ratios[0] < MAX_RATIO, (
+        f"timeline sampling costs {ratios[0]:.3f}x the obs-enabled "
+        f"baseline in its best of {REPEATS} paired runs (limit "
+        f"{MAX_RATIO}x; all ratios: {[round(r, 3) for r in ratios]})"
+    )
+
+
+def test_timeline_actually_sampled():
+    """Sanity for the bench above: the timed variant really records."""
+    rt = RuntimeSystem(
+        MACHINE, seed=0, obs=ObsConfig(timeline=TimelineConfig())
+    )
+    tram = make_scheme(
+        "WPs", rt, TramConfig(buffer_items=64),
+        deliver_bulk=lambda ctx, w, n, si, sc: None,
+    )
+    W = MACHINE.total_workers
+
+    def driver(ctx):
+        rng = rt.rng.stream(f"obs/{ctx.worker.wid}")
+        counts = np.bincount(rng.integers(0, W, 500), minlength=W)
+        tram.insert_bulk(ctx, counts)
+        tram.flush_when_done(ctx)
+
+    for w in range(W):
+        rt.post(w, driver)
+    rt.run()
+    assert rt.timeline is not None
+    assert rt.timeline.to_dict()["n_samples"] > 0
 
 
 def test_enabled_obs_records_stages():

@@ -24,11 +24,21 @@ from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-#: Bump on any backwards-incompatible payload change.
-METRICS_SCHEMA = "repro.run-metrics/1"
+#: Bump on any backwards-incompatible payload change. /2 added the
+#: requirement that optional per-run blocks (utilization, faults,
+#: reliability, flow, timeline) are always present — explicitly null
+#: when the subsystem is off — so consumers can distinguish "disabled"
+#: from "written by an older schema".
+METRICS_SCHEMA = "repro.run-metrics/2"
+
+#: Schema versions :func:`validate_metrics_payload` accepts.
+_ACCEPTED_SCHEMAS = ("repro.run-metrics/1", METRICS_SCHEMA)
 
 #: Keys every per-run snapshot must carry (see ``run_snapshot``).
 _RUN_KEYS = ("machine", "total_time_ns", "transport", "schemes", "metrics")
+
+#: Optional per-run blocks that /2 requires to be present (null ok).
+_OPTIONAL_RUN_KEYS = ("utilization", "faults", "reliability", "flow", "timeline")
 
 #: Tolerance for the stage-partition identity check (the stage
 #: histograms are exact up to pro-rata float splits).
@@ -208,13 +218,24 @@ def _check_scheme(prefix: str, scheme: Any, errors: List[str]) -> None:
             )
 
 
-def _check_run(prefix: str, run: Any, errors: List[str]) -> None:
+def _check_run(
+    prefix: str, run: Any, errors: List[str], *, strict_optional: bool = True
+) -> None:
     if not isinstance(run, dict):
         errors.append(f"{prefix}: not an object")
         return
     for key in _RUN_KEYS:
         if key not in run:
             errors.append(f"{prefix}: missing {key!r}")
+    if strict_optional:
+        # /2 contract: disabled subsystems are an explicit null, never
+        # an absent key.
+        for key in _OPTIONAL_RUN_KEYS:
+            if key not in run:
+                errors.append(
+                    f"{prefix}: missing optional block {key!r} "
+                    f"(schema /2 requires explicit null when disabled)"
+                )
     util = run.get("utilization")
     if util is not None:
         if not isinstance(util, dict):
@@ -222,6 +243,7 @@ def _check_run(prefix: str, run: Any, errors: List[str]) -> None:
         elif "bottleneck" not in util:
             errors.append(f"{prefix}: utilization missing 'bottleneck'")
     _check_flow(prefix, run, errors)
+    _check_timeline(prefix, run, errors)
     for i, scheme in enumerate(run.get("schemes") or ()):
         _check_scheme(f"{prefix}.schemes[{i}]", scheme, errors)
 
@@ -259,6 +281,90 @@ def _check_flow(prefix: str, run: dict, errors: List[str]) -> None:
     names = metrics.get("metrics", {}) if isinstance(metrics, dict) else {}
     if "flow.items_shed" not in names:
         errors.append(f"{prefix}: flow active but flow.* metrics missing")
+
+
+#: Schema tag a run's timeline block must carry (see repro.obs.timeline).
+_TIMELINE_SCHEMA = "repro.obs.timeline/1"
+
+#: Relative tolerance for the final-sample ≡ snapshot-counter check.
+#: Both are computed from the same live objects within one
+#: ``run_snapshot`` call, so they agree exactly for counters; the
+#: tolerance only absorbs float-summation differences in derived
+#: gauges.
+_TIMELINE_REL_TOL = 1e-9
+
+
+def _check_timeline(prefix: str, run: dict, errors: List[str]) -> None:
+    """Internal-consistency checks on a run's flight-recorder block:
+    schema tag, monotone sample times, parallel series columns, and
+    final-sample agreement with the snapshot's metrics registry."""
+    tl = run.get("timeline")
+    if tl is None:
+        return
+    if not isinstance(tl, dict):
+        errors.append(f"{prefix}: timeline is not an object")
+        return
+    if tl.get("schema") != _TIMELINE_SCHEMA:
+        errors.append(
+            f"{prefix}: timeline schema mismatch: expected "
+            f"{_TIMELINE_SCHEMA!r}, got {tl.get('schema')!r}"
+        )
+    for key in ("cadence_ns", "times_ns", "series", "final"):
+        if key not in tl:
+            errors.append(f"{prefix}: timeline missing {key!r}")
+    times = tl.get("times_ns")
+    if not isinstance(times, list):
+        return
+    if any(b <= a for a, b in zip(times, times[1:])):
+        errors.append(f"{prefix}: timeline sample times are not "
+                      f"strictly increasing")
+    n = tl.get("n_samples")
+    if n is not None and n != len(times):
+        errors.append(f"{prefix}: timeline n_samples ({n}) != "
+                      f"len(times_ns) ({len(times)})")
+    capacity = tl.get("capacity")
+    if isinstance(capacity, int) and len(times) > capacity:
+        errors.append(f"{prefix}: timeline holds {len(times)} samples, "
+                      f"over its capacity of {capacity}")
+    series = tl.get("series")
+    if isinstance(series, dict):
+        for name, col in series.items():
+            if not isinstance(col, list) or len(col) != len(times):
+                errors.append(
+                    f"{prefix}: timeline series {name!r} has "
+                    f"{len(col) if isinstance(col, list) else '?'} points, "
+                    f"expected {len(times)}"
+                )
+    final = tl.get("final")
+    if not isinstance(final, dict):
+        return
+    t_final = final.get("time_ns")
+    if times and isinstance(t_final, (int, float)) and t_final < times[-1]:
+        errors.append(f"{prefix}: timeline final.time_ns ({t_final}) "
+                      f"precedes last sample ({times[-1]})")
+    # Final-sample ≡ snapshot-counter agreement: every timeline series
+    # that shadows a metrics-registry entry must report the same final
+    # value the registry snapshot recorded.
+    metrics = run.get("metrics")
+    reg = metrics.get("metrics", {}) if isinstance(metrics, dict) else {}
+    values = final.get("values")
+    if not isinstance(values, dict):
+        return
+    for name, val in values.items():
+        entry = reg.get(name)
+        if not isinstance(entry, dict):
+            continue
+        ref = entry.get("value")
+        if not isinstance(ref, (int, float)) or not isinstance(
+            val, (int, float)
+        ):
+            continue
+        tol = _TIMELINE_REL_TOL * max(abs(ref), 1.0)
+        if abs(val - ref) > tol:
+            errors.append(
+                f"{prefix}: timeline final sample for {name!r} ({val}) "
+                f"disagrees with snapshot counter ({ref})"
+            )
 
 
 _PROVENANCE_POINT_KEYS = ("index", "cache_hit", "worker", "wall_s", "seed")
@@ -305,11 +411,14 @@ def validate_metrics_payload(payload: Any) -> List[str]:
     errors: List[str] = []
     if not isinstance(payload, dict):
         return ["payload is not a JSON object"]
-    if payload.get("schema") != METRICS_SCHEMA:
+    schema = payload.get("schema")
+    if schema not in _ACCEPTED_SCHEMAS:
         errors.append(
-            f"schema mismatch: expected {METRICS_SCHEMA!r}, "
-            f"got {payload.get('schema')!r}"
+            f"schema mismatch: expected one of {_ACCEPTED_SCHEMAS!r}, "
+            f"got {schema!r}"
         )
+    # /1 artifacts may legitimately omit disabled optional blocks.
+    strict_optional = schema == METRICS_SCHEMA
     for key in ("target", "profile", "runs", "summary"):
         if key not in payload:
             errors.append(f"missing top-level key {key!r}")
@@ -318,7 +427,7 @@ def validate_metrics_payload(payload: Any) -> List[str]:
         errors.append("'runs' is not a list")
         runs = None
     for i, run in enumerate(runs or ()):
-        _check_run(f"runs[{i}]", run, errors)
+        _check_run(f"runs[{i}]", run, errors, strict_optional=strict_optional)
     summary = payload.get("summary")
     if isinstance(summary, dict):
         if runs is not None and summary.get("n_runs") != len(runs):

@@ -68,13 +68,18 @@ def point_key(
     costs: Any = None,
     faults: Any = None,
     flow: Any = None,
+    obs: Any = None,
 ) -> str:
     """Stable content hash identifying one sweep point.
 
     ``faults`` / ``flow`` are the ambient :class:`~repro.faults.FaultPlan`
     and :class:`~repro.flow.FlowConfig` (or ``None``); they are folded in
     as dataclass dicts so a degraded or flow-controlled sweep never
-    shares entries with a clean one.
+    shares entries with a clean one. ``obs`` is the ambient
+    :class:`~repro.obs.TimelineConfig` when the flight recorder is on:
+    timeline-bearing records must not replay into (or from) plain runs.
+    It is folded in only when set, so enabling the recorder never
+    invalidates existing plain-run caches.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -85,6 +90,8 @@ def point_key(
         "faults": faults,
         "flow": flow,
     }
+    if obs is not None:
+        payload["obs"] = obs
     blob = json.dumps(
         payload, sort_keys=True, separators=(",", ":"), default=_jsonable
     )

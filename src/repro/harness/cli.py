@@ -36,7 +36,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure id (e.g. fig9), 'all', 'sweep', 'report', 'validate', "
-            "'validate-metrics', or 'list'"
+            "'validate-metrics', 'timeline-plot', or 'list'"
         ),
     )
     parser.add_argument(
@@ -44,7 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         type=Path,
         default=None,
-        help="artifact to check (validate-metrics target only)",
+        help="artifact to read (validate-metrics / timeline-plot targets)",
     )
     parser.add_argument(
         "--profile",
@@ -65,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "write a machine-readable JSON artifact (schema "
-            "repro.run-metrics/1) with per-run stage breakdowns, "
+            "repro.run-metrics/2) with per-run stage breakdowns, "
             "utilization and the bottleneck verdict; for 'all', PATH is "
             "a directory with one <fig>.json per figure"
         ),
@@ -89,6 +89,54 @@ def _build_parser() -> argparse.ArgumentParser:
             "comm-thread/NIC occupancy, backpressure, overload "
             "escalation); SPEC is comma-separated key=value pairs, e.g. "
             "'ct_msgs=64,ct_bytes=1048576,overload=200000,shed=2000000'"
+        ),
+    )
+    telemetry = parser.add_argument_group("time-series telemetry")
+    telemetry.add_argument(
+        "--timeline",
+        action="store_true",
+        help=(
+            "attach the flight recorder to every simulated run: "
+            "periodic samples of queue depth, backlog, credit-gate "
+            "occupancy, overload state, retransmit/shed counts and "
+            "per-scheme buffered items, embedded as a 'timeline' block "
+            "in the metrics artifact (off by default; deterministic — "
+            "sampled on the simulated clock, not wall time)"
+        ),
+    )
+    telemetry.add_argument(
+        "--timeline-cadence",
+        type=float,
+        default=50_000.0,
+        metavar="NS",
+        help="simulated-time sampling cadence in ns (default: 50000)",
+    )
+    telemetry.add_argument(
+        "--timeline-capacity",
+        type=int,
+        default=512,
+        metavar="N",
+        help=(
+            "flight-recorder ring capacity in samples; on overflow the "
+            "recorder decimates (keeps every other sample and doubles "
+            "its stride) so memory stays bounded (default: 512)"
+        ),
+    )
+    telemetry.add_argument(
+        "--status",
+        action="store_true",
+        help="render a live fleet-status line (queue depth, hit rate, "
+        "throughput, ETA) to stderr while sweep points run",
+    )
+    telemetry.add_argument(
+        "--status-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "rewrite PATH atomically with live fleet status (schema "
+            "repro.fleet-status/1) as sweep points complete — the "
+            "machine-readable surface for external monitors"
         ),
     )
     parallel = parser.add_argument_group("parallel execution and caching")
@@ -220,6 +268,17 @@ def _parse_fixed(spec: str) -> dict:
     return fixed
 
 
+def _timeline_config(args):
+    """The :class:`~repro.obs.TimelineConfig` the flags ask for, or None."""
+    if not getattr(args, "timeline", False):
+        return None
+    from repro.obs import TimelineConfig
+
+    return TimelineConfig(
+        cadence_ns=args.timeline_cadence, capacity=args.timeline_capacity
+    )
+
+
 def _run_sweep_cmd(args) -> int:
     import functools
     import json as _json
@@ -261,11 +320,14 @@ def _run_sweep_cmd(args) -> int:
             metric=args.metric,
             metrics_path=args.metrics_out,
             flow=args.flow,
+            timeline=_timeline_config(args),
             parallel=args.parallel,
             cache_dir=cache_dir,
             fresh=args.fresh,
             tag=tag,
             max_executions=args.max_points,
+            status=args.status,
+            status_json=args.status_json,
         )
     except SweepInterrupted as exc:
         print(f"sweep interrupted: {exc}", file=sys.stderr)
@@ -276,6 +338,9 @@ def _run_sweep_cmd(args) -> int:
     elapsed = time.perf_counter() - t0
     table = result.to_table()
     print(table)
+    summary = result.pool_summary_text()
+    if summary:
+        print(summary)
     hits, points = result.total_cache_hits, result.total_points
     print(
         f"[swept {points} point(s) in {elapsed:.1f}s wall with "
@@ -302,11 +367,15 @@ def _run_one(
     parallel: int = 1,
     cache_dir: Optional[Path] = None,
     fresh: bool = False,
+    timeline=None,
+    status: bool = False,
+    status_json: Optional[Path] = None,
 ) -> None:
     t0 = time.perf_counter()
     data = run_figure(
         fig_id, profile, metrics_path=metrics_out, faults=faults, flow=flow,
-        parallel=parallel, cache_dir=cache_dir, fresh=fresh,
+        timeline=timeline, parallel=parallel, cache_dir=cache_dir,
+        fresh=fresh, status=status, status_json=status_json,
     )
     elapsed = time.perf_counter() - t0
     report = data.render()
@@ -379,6 +448,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.target == "validate-metrics":
         return _validate_metrics(args.path)
+    if args.target == "timeline-plot":
+        from repro.harness.timeline_plot import run_timeline_plot
+
+        return run_timeline_plot(args.path, out=args.out)
     if args.target == "sweep":
         return _run_sweep_cmd(args)
     fig_cache = None if args.no_cache else args.cache_dir
@@ -392,6 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_one(
                 fig_id, args.profile, args.out, metrics_out, args.faults,
                 args.flow, args.parallel, fig_cache, args.fresh,
+                _timeline_config(args), args.status, args.status_json,
             )
         return 0
     if args.target == "validate":
@@ -416,13 +490,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"error: unknown target {args.target!r} "
             f"(known: {', '.join(FIGURES)}, all, sweep, report, validate, "
-            f"validate-metrics, list)",
+            f"validate-metrics, timeline-plot, list)",
             file=sys.stderr,
         )
         return 2
     _run_one(
         args.target, args.profile, args.out, args.metrics_out, args.faults,
         args.flow, args.parallel, fig_cache, args.fresh,
+        _timeline_config(args), args.status, args.status_json,
     )
     return 0
 

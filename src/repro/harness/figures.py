@@ -631,7 +631,8 @@ FIGURES: Dict[str, Tuple[Callable[[str], FigureData], str]] = {
 
 def run_figure(
     fig_id: str, profile: str = "paper", metrics_path=None, faults=None,
-    flow=None, parallel: int = 1, cache_dir=None, fresh: bool = False,
+    flow=None, timeline=None, parallel: int = 1, cache_dir=None,
+    fresh: bool = False, status: bool = False, status_json=None,
 ) -> FigureData:
     """Run one registered experiment by id.
 
@@ -651,11 +652,18 @@ def run_figure(
     runs with credit-based flow control: bounded comm-thread/NIC
     occupancy, source backpressure and overload escalation.
 
+    With ``timeline`` set (a :class:`~repro.obs.TimelineConfig`), every
+    simulation carries the flight recorder: per-run ``timeline`` blocks
+    (time-series of queue depth, backlog, credit occupancy, ...) land in
+    the metrics artifact.
+
     ``parallel``/``cache_dir``/``fresh`` configure the sweep pool for
     the figure's grid-shaped bodies (see :mod:`repro.harness.pool`):
     points are dispatched to worker processes and/or replayed from the
     content-addressed result cache, with identical figure data and
     artifact contents either way (modulo the provenance block).
+    ``status``/``status_json`` turn on live fleet telemetry while the
+    pool runs (see :mod:`repro.harness.fleet`).
     """
     try:
         fn, _ = FIGURES[fig_id]
@@ -678,7 +686,10 @@ def run_figure(
         if not fcfg.enabled:
             fcfg = None
     pooled = parallel != 1 or cache_dir is not None
-    if metrics_path is None and plan is None and fcfg is None and not pooled:
+    if (
+        metrics_path is None and plan is None and fcfg is None
+        and timeline is None and not pooled
+    ):
         return fn(profile)
 
     from contextlib import ExitStack
@@ -703,10 +714,12 @@ def run_figure(
                 from repro.flow import FlowSession
 
                 stack.enter_context(FlowSession(fcfg))
-            if metrics_path is not None:
+            if metrics_path is not None or timeline is not None:
                 from repro.obs import ObsConfig, ObsSession
 
-                session = stack.enter_context(ObsSession(ObsConfig()))
+                session = stack.enter_context(
+                    ObsSession(ObsConfig(timeline=timeline))
+                )
             # Entered last so forked workers inherit the fault/flow/obs
             # sessions above.
             pool_ctx = stack.enter_context(
@@ -715,12 +728,14 @@ def run_figure(
                         parallel=parallel,
                         cache_dir=cache_dir,
                         cache_read=not fresh,
+                        status=status,
+                        status_json=status_json,
                     )
                 )
             )
             data = fn(profile)
     finally:
-        if plan is not None or fcfg is not None or pooled:
+        if plan is not None or fcfg is not None or timeline is not None or pooled:
             _ig_sweep.cache_clear()
             _sssp_sweep.cache_clear()
     if metrics_path is not None:
@@ -733,6 +748,8 @@ def run_figure(
             extra["faults"] = asdict(plan)
         if fcfg is not None:
             extra["flow"] = asdict(fcfg)
+        if timeline is not None:
+            extra["timeline"] = asdict(timeline)
         payload = build_metrics_payload(
             target=fig_id,
             profile=profile,

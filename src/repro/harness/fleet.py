@@ -1,0 +1,226 @@
+"""Live fleet telemetry for the sweep pool.
+
+The pool in :mod:`repro.harness.pool` runs hundreds of points across
+worker processes; until now its progress was invisible until the final
+artifact landed. This module is the parent-side aggregator for the
+worker heartbeats that now share the result channel: it tracks queue
+depth, cache-hit rate and per-worker throughput as points complete, and
+surfaces them two ways —
+
+* a throttled single-line status rendered to ``stderr`` (``--status``),
+* a machine-readable JSON file rewritten atomically on every update
+  (``--status-json``), the fleet-status surface the ROADMAP's
+  ``repro serve`` front end polls.
+
+Everything here runs on the parent's wall clock and never touches the
+artifact payload, so enabling it cannot perturb the canonical-byte
+identity between serial and parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, TextIO
+
+#: Schema tag stamped into every ``--status-json`` document.
+STATUS_SCHEMA = "repro.fleet-status/1"
+
+
+class FleetStatus:
+    """Aggregates pool progress and emits throttled status updates.
+
+    Parameters
+    ----------
+    total:
+        Total number of points in this dispatch (hits + executions).
+    cache_hits:
+        Points already resolved from the cache before dispatch.
+    nworkers:
+        Worker process count (0 = the serial in-process path).
+    interval_s:
+        Minimum wall-clock spacing between emitted updates; terminal
+        and file writes share the throttle.
+    stream:
+        Where the status line goes (default ``sys.stderr``); ``None``
+        disables line rendering.
+    path:
+        Status-JSON file path; ``None`` disables the file.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        cache_hits: int = 0,
+        nworkers: int = 0,
+        interval_s: float = 0.5,
+        stream: Optional[TextIO] = None,
+        path: Optional[Path] = None,
+    ) -> None:
+        self.total = total
+        self.cache_hits = cache_hits
+        self.done = cache_hits
+        self.executed = 0
+        self.nworkers = nworkers
+        self.interval_s = interval_s
+        self.stream = stream
+        self.path = Path(path) if path is not None else None
+        self.t0 = time.perf_counter()
+        self._last_emit = 0.0
+        self._line_open = False
+        #: Per-worker progress: points completed, cumulative wall,
+        #: and the point currently being executed (from heartbeats).
+        self.workers: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def _worker(self, worker_id: int) -> Dict[str, Any]:
+        return self.workers.setdefault(
+            worker_id, {"points": 0, "wall_s": 0.0, "current": None}
+        )
+
+    def on_heartbeat(self, worker_id: int, info: Mapping[str, Any]) -> None:
+        """A worker announced the point it is starting."""
+        state = self._worker(worker_id)
+        state["current"] = info.get("params")
+        self.maybe_emit()
+
+    def on_point_done(
+        self, worker_id: int, wall_s: float, *, cache_hit: bool = False
+    ) -> None:
+        """A point finished (executed or replayed from cache)."""
+        self.done += 1
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+            state = self._worker(worker_id)
+            state["points"] += 1
+            state["wall_s"] += wall_s
+            state["current"] = None
+        self.maybe_emit()
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Points not yet completed."""
+        return max(0, self.total - self.done)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def throughput(self) -> float:
+        """Executed points per wall-clock second so far."""
+        elapsed = time.perf_counter() - self.t0
+        return self.executed / elapsed if elapsed > 0 else 0.0
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining-time estimate; None before any point completes."""
+        rate = self.throughput()
+        if rate <= 0:
+            return None
+        return self.queue_depth / rate
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def status_payload(self) -> dict:
+        """The ``--status-json`` document."""
+        elapsed = time.perf_counter() - self.t0
+        eta = self.eta_s()
+        return {
+            "schema": STATUS_SCHEMA,
+            "points_total": self.total,
+            "points_done": self.done,
+            "queue_depth": self.queue_depth,
+            "cache_hits": self.cache_hits,
+            "hit_rate": round(self.hit_rate, 6),
+            "executed": self.executed,
+            "elapsed_s": round(elapsed, 3),
+            "throughput_pts_per_s": round(self.throughput(), 3),
+            "eta_s": round(eta, 3) if eta is not None else None,
+            "workers": {
+                str(wid): {
+                    "points": st["points"],
+                    "wall_s": round(st["wall_s"], 3),
+                    "current": st["current"],
+                }
+                for wid, st in sorted(self.workers.items())
+            },
+        }
+
+    def render_line(self) -> str:
+        """One-line human status, e.g.
+        ``[sweep 12/64] queue 52 | hits 8 (12%) | 3.1 pt/s | eta 17s``."""
+        parts = [
+            f"[sweep {self.done}/{self.total}]",
+            f"queue {self.queue_depth}",
+            f"hits {self.cache_hits} ({self.hit_rate:.0%})",
+        ]
+        rate = self.throughput()
+        if rate > 0:
+            parts.append(f"{rate:.1f} pt/s")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        if self.nworkers > 1:
+            busy = sum(
+                1 for st in self.workers.values() if st["current"] is not None
+            )
+            parts.append(f"workers {busy}/{self.nworkers}")
+        return " | ".join(parts)
+
+    def _write_json(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.status_payload(), indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+    def maybe_emit(self, force: bool = False) -> None:
+        """Emit the status line / JSON file, at most once per interval."""
+        now = time.perf_counter()
+        if not force and now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        if self.stream is not None:
+            self.stream.write("\r\x1b[2K" + self.render_line())
+            self.stream.flush()
+            self._line_open = True
+        self._write_json()
+
+    def finish(self) -> None:
+        """Force a final emission and close the status line."""
+        self.maybe_emit(force=True)
+        if self.stream is not None and self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+
+def make_fleet_status(
+    config: Any, total: int, cache_hits: int, nworkers: int
+) -> Optional[FleetStatus]:
+    """Build a :class:`FleetStatus` from a pool config, or ``None``
+    when neither ``status`` nor ``status_json`` is requested."""
+    status = getattr(config, "status", False)
+    status_json = getattr(config, "status_json", None)
+    if not status and status_json is None:
+        return None
+    return FleetStatus(
+        total,
+        cache_hits=cache_hits,
+        nworkers=nworkers,
+        interval_s=getattr(config, "status_interval_s", 0.5),
+        stream=sys.stderr if status else None,
+        path=status_json,
+    )

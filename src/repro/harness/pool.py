@@ -112,6 +112,13 @@ class PoolConfig:
     #: Execute at most this many points (cache hits are free), then
     #: raise :class:`SweepInterrupted` — the resumability test hook.
     max_executions: Optional[int] = None
+    #: Render a throttled fleet-status line to stderr while running.
+    status: bool = False
+    #: Rewrite this JSON file (atomically) with live fleet status —
+    #: queue depth, hit rate, per-worker throughput, ETA.
+    status_json: Optional[Path] = None
+    #: Minimum wall-clock seconds between status updates.
+    status_interval_s: float = 0.5
 
 
 class PoolContext:
@@ -256,19 +263,38 @@ def _execute_point(
     return value, records, wall
 
 
-def _worker_main(worker_id, fn, specs, collect_obs, taskq, resq):
-    """Pool worker: pull indices off the shared queue until sentinel."""
+def _worker_main(worker_id, fn, specs, collect_obs, taskq, resq, heartbeats):
+    """Pull indices off the shared queue until sentinel.
+
+    Messages on ``resq`` are tagged tuples: ``("done", slot, worker_id,
+    value, records, wall, err)`` for completed points, and — when
+    ``heartbeats`` is set — ``("hb", worker_id, info)`` announcing the
+    point a worker is starting, which is what drives the parent's live
+    fleet-status display.
+    """
     _scramble_ambient_rng(worker_id)
+    points_done = 0
     while True:
         slot = taskq.get()
         if slot is None:
             return
         spec = specs[slot]
+        if heartbeats:
+            resq.put((
+                "hb",
+                worker_id,
+                {"slot": slot, "params": dict(spec.params),
+                 "points_done": points_done},
+            ))
         try:
             value, records, wall = _execute_point(fn, spec, collect_obs)
-            resq.put((slot, worker_id, value, records, wall, None))
+            points_done += 1
+            resq.put(("done", slot, worker_id, value, records, wall, None))
         except BaseException:
-            resq.put((slot, worker_id, None, [], 0.0, traceback.format_exc()))
+            resq.put(
+                ("done", slot, worker_id, None, [], 0.0,
+                 traceback.format_exc())
+            )
 
 
 def _run_parallel(
@@ -278,6 +304,7 @@ def _run_parallel(
     nworkers: int,
     collect_obs: bool,
     on_done: Callable[[int, PointOutcome], None],
+    fleet: Optional[Any] = None,
 ) -> None:
     """Execute ``specs[i] for i in todo`` across ``nworkers`` processes."""
     ctx = multiprocessing.get_context("fork")
@@ -290,7 +317,8 @@ def _run_parallel(
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(wid + 1, fn, specs, collect_obs, taskq, resq),
+            args=(wid + 1, fn, specs, collect_obs, taskq, resq,
+                  fleet is not None),
             daemon=True,
         )
         for wid in range(nworkers)
@@ -299,12 +327,21 @@ def _run_parallel(
         proc.start()
     failure: Optional[str] = None
     try:
-        for _ in range(len(todo)):
-            slot, worker_id, value, records, wall, err = resq.get()
+        completed = 0
+        while completed < len(todo):
+            msg = resq.get()
+            if msg[0] == "hb":
+                if fleet is not None:
+                    fleet.on_heartbeat(msg[1], msg[2])
+                continue
+            _, slot, worker_id, value, records, wall, err = msg
+            completed += 1
             if err is not None:
                 if failure is None:
                     failure = err
                 continue
+            if fleet is not None:
+                fleet.on_point_done(worker_id, wall)
             on_done(
                 slot,
                 PointOutcome(
@@ -368,13 +405,28 @@ def map_points(
     if resolved_tag is None:
         resolved_tag = repr(fn)
 
-    faults_plan = flow_cfg = None
+    # Observability records are captured per point whenever the caller
+    # is collecting them (active ObsSession) or the cache needs them to
+    # make entries replayable.
+    from repro.obs import active_session
+
+    parent_session = active_session()
+    collect_obs = parent_session is not None or cache is not None
+
+    faults_plan = flow_cfg = obs_cfg = None
     if cache is not None:
         from repro.faults.context import active_fault_plan
         from repro.flow.context import active_flow_config
 
         faults_plan = active_fault_plan()
         flow_cfg = active_flow_config()
+        # Timeline-bearing records are shaped differently from plain
+        # ones, so the flight-recorder config is part of the point's
+        # content address (only when on — plain caches stay valid).
+        if parent_session is not None:
+            tl = parent_session.config.timeline
+            if tl is not None and tl.enabled:
+                obs_cfg = tl
 
     specs: List[PointSpec] = []
     for params in grid:
@@ -388,20 +440,13 @@ def map_points(
                     costs=params.get("costs"),
                     faults=faults_plan,
                     flow=flow_cfg,
+                    obs=obs_cfg,
                 )
             specs.append(
                 PointSpec(
                     index=len(specs), params=dict(params), seed=seed, key=key
                 )
             )
-
-    # Observability records are captured per point whenever the caller
-    # is collecting them (active ObsSession) or the cache needs them to
-    # make entries replayable.
-    from repro.obs import active_session
-
-    parent_session = active_session()
-    collect_obs = parent_session is not None or cache is not None
 
     outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
 
@@ -446,34 +491,52 @@ def map_points(
     # parent session in strict grid-index order regardless of schedule
     # and cache state, so artifacts never depend on either.
     nworkers = min(max(1, ctx.config.parallel), max(1, len(todo)))
-    if todo and nworkers > 1 and _fork_available():
-        # Parallel: workers report nothing to the parent session during
-        # execution; absorb every point's records afterwards, in order.
-        _run_parallel(fn, specs, todo, nworkers, collect_obs, finish)
-        if parent_session is not None:
-            for outcome in outcomes:
+    from repro.harness.fleet import make_fleet_status
+
+    hits_upfront = len(specs) - len(todo) - deferred
+    fleet = make_fleet_status(ctx.config, len(specs), hits_upfront, nworkers)
+    try:
+        if todo and nworkers > 1 and _fork_available():
+            # Parallel: workers report nothing to the parent session
+            # during execution; absorb every point's records
+            # afterwards, in order.
+            _run_parallel(
+                fn, specs, todo, nworkers, collect_obs, finish, fleet
+            )
+            if parent_session is not None:
+                for outcome in outcomes:
+                    if outcome is not None:
+                        parent_session.absorb(outcome.records)
+        else:
+            # Serial: walk specs in index order, interleaving cache-hit
+            # replays (absorbed) with in-process executions (which
+            # report into the parent session naturally as they run).
+            todo_set = set(todo)
+            if todo_set:
+                _scramble_ambient_rng(0)
+            for spec in specs:
+                outcome = outcomes[spec.index]
                 if outcome is not None:
-                    parent_session.absorb(outcome.records)
-    else:
-        # Serial: walk specs in index order, interleaving cache-hit
-        # replays (absorbed) with in-process executions (which report
-        # into the parent session naturally as they run).
-        todo_set = set(todo)
-        if todo_set:
-            _scramble_ambient_rng(0)
-        for spec in specs:
-            outcome = outcomes[spec.index]
-            if outcome is not None:
-                if parent_session is not None:
-                    parent_session.absorb(outcome.records)
-            elif spec.index in todo_set:
-                value, records, wall = _execute_point(fn, spec, collect_obs)
-                finish(
-                    spec.index,
-                    PointOutcome(
-                        spec=spec, value=value, records=records, wall_s=wall
-                    ),
-                )
+                    if parent_session is not None:
+                        parent_session.absorb(outcome.records)
+                elif spec.index in todo_set:
+                    if fleet is not None:
+                        fleet.on_heartbeat(0, {"params": dict(spec.params)})
+                    value, records, wall = _execute_point(
+                        fn, spec, collect_obs
+                    )
+                    if fleet is not None:
+                        fleet.on_point_done(0, wall)
+                    finish(
+                        spec.index,
+                        PointOutcome(
+                            spec=spec, value=value, records=records,
+                            wall_s=wall,
+                        ),
+                    )
+    finally:
+        if fleet is not None:
+            fleet.finish()
 
     done: List[PointOutcome] = []
     for outcome in outcomes:

@@ -55,6 +55,10 @@ class SweepResult:
     axes: Dict[str, Sequence[Any]]
     metric: str
     cells: List[SweepCell] = field(default_factory=list)
+    #: Pool execution provenance (the artifact's ``provenance`` block):
+    #: per-point cache/worker/wall records plus the aggregate summary.
+    #: ``None`` when nothing ran through a pool context.
+    pool: Optional[Dict[str, Any]] = None
 
     def cell(self, **params: Any) -> SweepCell:
         """Look up one grid point by its exact parameters."""
@@ -82,6 +86,33 @@ class SweepResult:
         ]
         return render_table(headers, rows)
 
+    def pool_summary_text(self) -> Optional[str]:
+        """Human-readable pool execution summary for the end-of-run
+        report (hit rate, total execution wall, per-worker points), or
+        ``None`` when no provenance was recorded."""
+        if not self.pool:
+            return None
+        summary = self.pool.get("summary") or {}
+        n = summary.get("n_points", 0)
+        hits = summary.get("cache_hits", 0)
+        executed = summary.get("executed", 0)
+        wall = summary.get("exec_wall_s", 0.0)
+        rate = hits / n if n else 0.0
+        parts = [
+            f"pool: {n} point(s), {hits} cache hit(s) ({rate:.0%}), "
+            f"{executed} executed in {wall:.2f}s"
+        ]
+        workers = summary.get("workers") or {}
+        if len(workers) > 1 or (workers and "0" not in workers):
+            per = ", ".join(
+                f"w{wid}: {st.get('points', 0)}pt/{st.get('wall_s', 0.0):.2f}s"
+                for wid, st in sorted(
+                    workers.items(), key=lambda kv: int(kv[0])
+                )
+            )
+            parts.append(f"  workers: {per}")
+        return "\n".join(parts)
+
 
 def run_sweep(
     fn: Callable[..., float],
@@ -91,11 +122,14 @@ def run_sweep(
     metric: str = "value",
     metrics_path=None,
     flow=None,
+    timeline=None,
     parallel: int = 1,
     cache_dir: Optional[Path] = None,
     fresh: bool = False,
     tag: Optional[str] = None,
     max_executions: Optional[int] = None,
+    status: bool = False,
+    status_json: Optional[Path] = None,
 ) -> SweepResult:
     """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
 
@@ -119,6 +153,11 @@ def run_sweep(
         Optional :class:`~repro.flow.FlowConfig` (or spec string for
         :meth:`~repro.flow.FlowConfig.parse`): run every cell with
         credit-based flow control active.
+    timeline:
+        Optional :class:`~repro.obs.TimelineConfig`: attach the
+        flight recorder to every run, embedding per-run ``timeline``
+        blocks in the artifact (implies an ObsSession even without
+        ``metrics_path``).
     parallel:
         Worker processes for the point executor; 1 (default) runs the
         grid serially in-process. The aggregated result is identical
@@ -136,6 +175,11 @@ def run_sweep(
         Execute at most this many points, then raise
         :class:`~repro.harness.pool.SweepInterrupted` (cache hits are
         free). Exists to exercise resumability.
+    status:
+        Render a live fleet-status line to stderr while points run.
+    status_json:
+        Rewrite this JSON file with live fleet status (queue depth,
+        hit rate, per-worker throughput, ETA) as points complete.
 
     Examples
     --------
@@ -172,6 +216,8 @@ def run_sweep(
         cache_read=not fresh,
         cache_write=True,
         max_executions=max_executions,
+        status=status,
+        status_json=status_json,
     )
 
     session = None
@@ -180,14 +226,17 @@ def run_sweep(
             from repro.flow import FlowSession
 
             stack.enter_context(FlowSession(fcfg))
-        if metrics_path is not None:
+        if metrics_path is not None or timeline is not None:
             from repro.obs import ObsConfig, ObsSession
 
-            session = stack.enter_context(ObsSession(ObsConfig()))
+            session = stack.enter_context(
+                ObsSession(ObsConfig(timeline=timeline))
+            )
         ctx = stack.enter_context(pool_session(pcfg))
         outcomes = map_points(fn, combos, tag=tag, seeds=seeds)
 
     result = SweepResult(axes=dict(axes), metric=metric)
+    result.pool = ctx.provenance_payload()
     n_seeds = len(seeds)
     for ci, params in enumerate(combos):
         chunk = outcomes[ci * n_seeds : (ci + 1) * n_seeds]
@@ -210,13 +259,15 @@ def run_sweep(
     extra = {"axes": {n: list(axes[n]) for n in names}, "seeds": list(seeds)}
     if fcfg is not None:
         extra["flow"] = _asdict(fcfg)
+    if timeline is not None:
+        extra["timeline"] = _asdict(timeline)
     payload = build_metrics_payload(
         target=f"sweep:{metric}",
         profile="custom",
         runs=session.records,
         sweep=result,
         extra_config=extra,
-        provenance=ctx.provenance_payload(),
+        provenance=result.pool,
     )
     write_metrics_json(metrics_path, payload)
     return result

@@ -24,6 +24,7 @@ from repro.obs.config import ObsConfig, ObsSession, active_session
 from repro.obs.hist import Log2Histogram
 from repro.obs.registry import Metric, MetricsRegistry, registry_from_runtime
 from repro.obs.spans import LATENCY_STAGES, STAGES, MsgSpan, StageLatency
+from repro.obs.timeline import TIMELINE_SCHEMA, TimelineConfig, TimelineRecorder
 
 __all__ = [
     "LATENCY_STAGES",
@@ -35,6 +36,9 @@ __all__ = [
     "ObsSession",
     "STAGES",
     "StageLatency",
+    "TIMELINE_SCHEMA",
+    "TimelineConfig",
+    "TimelineRecorder",
     "active_session",
     "registry_from_runtime",
     "run_snapshot",

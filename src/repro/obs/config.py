@@ -23,14 +23,24 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.obs.timeline import TimelineConfig
+
 _active: Optional["ObsSession"] = None
 
 
 @dataclass(frozen=True)
 class ObsConfig:
-    """The single flag gating all instrumentation."""
+    """The flags gating all instrumentation.
+
+    ``enabled`` gates span/histogram attribution; ``timeline``
+    additionally attaches a
+    :class:`~repro.obs.timeline.TimelineRecorder` flight recorder to
+    every runtime built under this config (``None``, the default, keeps
+    the engine on its sampler-free hot loop).
+    """
 
     enabled: bool = True
+    timeline: Optional[TimelineConfig] = None
 
 
 class ObsSession:

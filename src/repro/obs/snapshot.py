@@ -83,6 +83,13 @@ def _flow_dict(rt: Any) -> Optional[dict]:
     return flow.to_dict()
 
 
+def _timeline_dict(rt: Any) -> Optional[dict]:
+    timeline = getattr(rt, "timeline", None)
+    if timeline is None:
+        return None
+    return timeline.to_dict()
+
+
 def run_snapshot(rt: Any) -> dict:
     """Summarize a finished :class:`~repro.runtime.system.RuntimeSystem`."""
     transport = rt.transport.stats
@@ -100,8 +107,13 @@ def run_snapshot(rt: Any) -> dict:
             _scheme_dict(i, s) for i, s in enumerate(getattr(rt, "schemes", ()))
         ],
         "utilization": _utilization_dict(rt),
+        # Optional blocks are always present, explicitly null when the
+        # subsystem is off — consumers can tell "disabled" apart from
+        # "produced by an older schema" (repro.run-metrics/2 requires
+        # these keys; see repro.harness.artifact).
         "faults": _faults_dict(rt),
         "reliability": _reliability_dict(rt),
         "flow": _flow_dict(rt),
+        "timeline": _timeline_dict(rt),
         "metrics": registry_from_runtime(rt).to_json(),
     }

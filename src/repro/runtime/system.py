@@ -31,6 +31,7 @@ from repro.machine.topology import MachineConfig
 from repro.network.fabric import Fabric
 from repro.network.nic import Nic
 from repro.obs.config import ObsConfig, active_session
+from repro.obs.timeline import TimelineRecorder
 from repro.runtime.commthread import CommThread
 from repro.runtime.node import Node
 from repro.runtime.proc import Process
@@ -157,6 +158,19 @@ class RuntimeSystem:
         self.flow: Optional[FlowController] = (
             FlowController(self, flow_cfg) if flow_cfg is not None else None
         )
+
+        #: Flight recorder, or ``None`` (the default). Built last so its
+        #: probes see every component, and installed as the engine's
+        #: boundary sampler (which routes ``run()`` through the sampled
+        #: loop; without it the sampler-free hot path is untouched).
+        tl_cfg = obs.timeline if obs is not None else None
+        if tl_cfg is not None and not tl_cfg.enabled:
+            tl_cfg = None
+        self.timeline: Optional[TimelineRecorder] = (
+            TimelineRecorder(self, tl_cfg) if tl_cfg is not None else None
+        )
+        if self.timeline is not None:
+            self.engine.sampler = self.timeline
 
     # ------------------------------------------------------------------
     # Component access

@@ -85,6 +85,7 @@ class Engine:
     __slots__ = (
         "tracer",
         "now",
+        "sampler",
         "_queue",
         "_wheel",
         "_heap",
@@ -96,6 +97,14 @@ class Engine:
 
     def __init__(self, tracer: Optional[Tracer] = None, now: float = 0.0) -> None:
         self.tracer = tracer
+        #: Optional boundary sampler (a
+        #: :class:`~repro.obs.timeline.TimelineRecorder`): before firing
+        #: the first event at-or-past ``sampler.next_due``, the run loop
+        #: calls ``sampler.on_boundary(t)``. Driving sampling from the
+        #: event stream (rather than self-rescheduling sampler events)
+        #: keeps run-to-exhaustion quiescence intact and adds only one
+        #: float compare per event.
+        self.sampler: Optional[Any] = None
         self.now = now
         self._queue = EventQueue()
         self._wheel = TimerWheel()
@@ -276,7 +285,10 @@ class Engine:
         stats = RunStats()
         try:
             if until is None and max_events is None and self.tracer is None:
-                self._run_fast(stats)
+                if self.sampler is None:
+                    self._run_fast(stats)
+                else:
+                    self._run_sampled(stats)
             else:
                 self._run_general(stats, until, max_events)
         finally:
@@ -319,6 +331,50 @@ class Engine:
             stats.stopped_early = True
         stats.events_fired = fired
 
+    def _run_sampled(self, stats: RunStats) -> None:
+        """Full run with a boundary sampler: :meth:`_run_fast` plus one
+        ``t >= next_due`` compare per event. Kept as a separate loop so
+        the sampler-less hot path stays untouched (the obs-overhead
+        bench guards both)."""
+        queue = self._queue
+        heap = self._heap
+        wheel = self._wheel
+        pool = self._pool
+        sampler = self.sampler
+        next_due = sampler.next_due
+        fired = 0
+        while not self._stop_requested:
+            if wheel._live:
+                wev = wheel.peek()
+                hev = queue.peek()
+                if hev is None or wev < hev:
+                    ev = wheel.pop()
+                else:
+                    ev = _heappop(heap)
+            else:
+                while heap:
+                    ev = _heappop(heap)
+                    if ev[2]:
+                        break
+                    queue._corpses -= 1
+                else:
+                    break
+            state = ev[2]
+            t = ev[0]
+            if t >= next_due:
+                # Sample state-at-boundary before the crossing event
+                # fires; all applied events are strictly earlier.
+                next_due = sampler.on_boundary(t)
+            self.now = t
+            fired += 1
+            ev[2] = ST_CONSUMED
+            ev[3](*ev[4])
+            if state == ST_POOLED and len(pool) < POOL_CAP:
+                pool.append(ev)
+        else:
+            stats.stopped_early = True
+        stats.events_fired = fired
+
     def _run_general(
         self, stats: RunStats, until: Optional[float], max_events: Optional[int]
     ) -> None:
@@ -330,6 +386,8 @@ class Engine:
         wheel = self._wheel
         pool = self._pool
         tracer = self.tracer
+        sampler = self.sampler
+        next_due = sampler.next_due if sampler is not None else None
         fired = 0
         while True:
             if self._stop_requested:
@@ -358,6 +416,8 @@ class Engine:
                 wheel.pop()
             else:
                 _heappop(heap)
+            if next_due is not None and t >= next_due:
+                next_due = sampler.on_boundary(t)
             if t < self.now:  # pragma: no cover - invariant guard
                 raise SimulationError(
                     f"time went backwards: event at {t}, now {self.now}"

@@ -17,14 +17,16 @@ Usage::
 
 Row layout: pid 0 = worker task execution, pid 1 = transport machinery
 (comm threads on their process id, NICs on ``1000 + node``), pid 2 =
-per-worker message endpoints (send release / receive enqueue markers).
+per-worker message endpoints (send release / receive enqueue markers),
+pid 3 = flight-recorder counter tracks (when a timeline block is merged
+in via ``write_chrome_trace(..., timeline=...)``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.sim.trace import Tracer
 
@@ -147,10 +149,46 @@ def flow_trace_events(tracer: Tracer) -> List[dict]:
     return events
 
 
+#: Chrome pid hosting the flight-recorder counter tracks.
+_COUNTER_PID = 3
+
+
+def counter_trace_events(timeline: dict) -> List[dict]:
+    """Convert a flight-recorder ``timeline`` block to counter events.
+
+    Each sampled series becomes a Chrome ``ph: "C"`` counter track on
+    pid 3, so Perfetto renders the sampled gauges (backlogs, gate
+    occupancy, buffered items, overload state) as little area charts
+    time-aligned with the task/message rows from the same run.
+
+    Accepts the dict produced by
+    :meth:`repro.obs.timeline.TimelineRecorder.to_dict` (the per-run
+    ``"timeline"`` block of a metrics artifact).
+    """
+    times = timeline.get("times_ns") or []
+    series = timeline.get("series") or {}
+    events: List[dict] = []
+    for name, column in sorted(series.items()):
+        if not any(column):
+            continue  # flat-zero track: noise in the UI
+        for t, v in zip(times, column):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "telemetry",
+                    "ph": "C",
+                    "ts": t / 1e3,
+                    "pid": _COUNTER_PID,
+                    "args": {"value": v},
+                }
+            )
+    return events
+
+
 def _metadata_events(events: List[dict]) -> List[dict]:
     """Process-name metadata rows for the pids actually present."""
     names = {0: "workers (tasks)", 1: "transport (comm threads / NICs)",
-             2: "message endpoints"}
+             2: "message endpoints", _COUNTER_PID: "telemetry (counters)"}
     present = sorted({e["pid"] for e in events})
     return [
         {
@@ -163,12 +201,20 @@ def _metadata_events(events: List[dict]) -> List[dict]:
     ]
 
 
-def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> int:
+def write_chrome_trace(
+    tracer: Tracer,
+    path: Union[str, Path],
+    timeline: Optional[dict] = None,
+) -> int:
     """Write the captured trace (tasks + message flows) as Chrome JSON.
 
-    Returns the number of events written.
+    When ``timeline`` is given (a flight-recorder block from the same
+    run), its sampled series are merged in as counter tracks on their
+    own process row. Returns the number of events written.
     """
     events = chrome_trace_events(tracer) + flow_trace_events(tracer)
+    if timeline is not None:
+        events += counter_trace_events(timeline)
     events += _metadata_events(events)
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     Path(path).write_text(json.dumps(payload))

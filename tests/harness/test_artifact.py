@@ -52,9 +52,12 @@ class TestPayloadBuilding:
 
 class TestValidation:
     def _good(self):
+        # Schema /2: optional blocks are explicitly null when disabled.
         return build_metrics_payload(target="t", profile="p", runs=[
             {"machine": {}, "total_time_ns": 1.0, "transport": {},
-             "schemes": [], "metrics": {}, "utilization": None},
+             "schemes": [], "metrics": {}, "utilization": None,
+             "faults": None, "reliability": None, "flow": None,
+             "timeline": None},
         ])
 
     def test_good_payload_clean(self):

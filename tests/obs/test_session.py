@@ -128,3 +128,73 @@ class TestSnapshotShape:
         rt.run()
         snap = run_snapshot(rt)
         assert snap["schemes"][0]["stages"] is None
+
+    def test_optional_blocks_explicitly_null(self):
+        """Schema /2 contract: disabled subsystems appear as explicit
+        nulls, never as missing keys."""
+        rt, tram = _build()
+        _traffic(rt, tram)
+        rt.run()
+        snap = run_snapshot(rt)
+        for key in ("faults", "reliability", "flow", "timeline"):
+            assert key in snap, key
+            assert snap[key] is None, key
+
+
+class TestAbsorb:
+    def _run_records(self, n=1):
+        with ObsSession() as session:
+            for _ in range(n):
+                rt, tram = _build()
+                _traffic(rt, tram)
+                rt.run()
+        return session.records
+
+    def test_absorb_empty_is_a_noop(self):
+        with ObsSession() as session:
+            session.absorb([])
+        assert session.records == []
+
+    def test_absorb_preserves_order(self):
+        recs = [{"tag": i} for i in range(3)]
+        with ObsSession() as session:
+            session.absorb(recs)
+        assert session.records == recs
+
+    def test_absorbing_twice_appends(self):
+        with ObsSession() as session:
+            session.absorb([{"tag": "a"}])
+            session.absorb([{"tag": "b"}, {"tag": "c"}])
+        assert [r["tag"] for r in session.records] == ["a", "b", "c"]
+        # Records are stored as-is, not copied or re-keyed.
+        assert session.records[0] == {"tag": "a"}
+
+    def test_absorb_into_session_with_local_snapshots(self):
+        """Pool-merge scenario: locally captured runs and absorbed
+        worker records interleave in arrival order."""
+        with ObsSession() as session:
+            rt, tram = _build()
+            _traffic(rt, tram)
+            rt.run()
+            shipped = self._run_records(n=1)
+            session.absorb(shipped)
+            rt2, tram2 = _build()
+            _traffic(rt2, tram2)
+            rt2.run()
+        assert len(session.records) == 3
+        assert session.records[1] is shipped[0]
+        for snap in session.records:
+            assert snap["total_time_ns"] > 0
+
+    def test_absorbed_records_survive_runtime_rerun(self):
+        """A later run() on a local runtime must replace only its own
+        snapshot, never an absorbed one."""
+        with ObsSession() as session:
+            rt, tram = _build()
+            _traffic(rt, tram)
+            rt.run()
+            session.absorb([{"tag": "shipped"}])
+            _traffic(rt, tram)
+            rt.run()  # refreshes the first slot in place
+        assert len(session.records) == 2
+        assert session.records[1] == {"tag": "shipped"}

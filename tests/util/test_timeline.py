@@ -11,6 +11,7 @@ from repro.tram import TramConfig, make_scheme
 from repro.util.timeline import (
     attach_task_tracing,
     chrome_trace_events,
+    counter_trace_events,
     flow_trace_events,
     write_chrome_trace,
 )
@@ -166,3 +167,54 @@ class TestMessageFlows:
     def test_task_only_tracer_has_no_flows(self, traced_run):
         _, tracer = traced_run
         assert flow_trace_events(tracer) == []
+
+
+class TestCounterTracks:
+    TL = {
+        "times_ns": [1000.0, 2000.0, 3000.0],
+        "series": {
+            "flow.parked_messages": [0.0, 2.0, 0.0],
+            "workers.queued_bytes": [128.0, 64.0, 0.0],
+            "flow.overloaded": [0.0, 0.0, 0.0],  # flat zero: skipped
+        },
+    }
+
+    def test_counter_events_shape(self):
+        events = counter_trace_events(self.TL)
+        assert len(events) == 6  # 2 live series x 3 samples
+        for ev in events:
+            assert ev["ph"] == "C"
+            assert ev["pid"] == 3
+            assert ev["cat"] == "telemetry"
+            assert "value" in ev["args"]
+        names = {e["name"] for e in events}
+        assert names == {"flow.parked_messages", "workers.queued_bytes"}
+
+    def test_timestamps_in_microseconds(self):
+        events = counter_trace_events(self.TL)
+        parked = [e for e in events if e["name"] == "flow.parked_messages"]
+        assert [e["ts"] for e in parked] == [1.0, 2.0, 3.0]
+        assert [e["args"]["value"] for e in parked] == [0.0, 2.0, 0.0]
+
+    def test_empty_timeline_produces_nothing(self):
+        assert counter_trace_events({"times_ns": [], "series": {}}) == []
+
+    def test_merged_write_adds_counter_row(self, traced_run, tmp_path):
+        _, tracer = traced_run
+        path = tmp_path / "merged.json"
+        n = write_chrome_trace(tracer, path, timeline=self.TL)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert len(events) == n
+        assert any(e["ph"] == "C" for e in events)
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e["ph"] == "M"}
+        assert meta[3] == "telemetry (counters)"
+
+    def test_plain_write_unchanged_without_timeline(self, traced_run,
+                                                    tmp_path):
+        _, tracer = traced_run
+        path = tmp_path / "plain.json"
+        write_chrome_trace(tracer, path)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert not any(e["ph"] == "C" for e in events)
+        assert 3 not in {e["pid"] for e in events}
