@@ -19,6 +19,7 @@ CI job runs on freshly produced artifacts.
 from __future__ import annotations
 
 import json
+import math
 from collections import Counter
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
@@ -71,6 +72,13 @@ def _figure_dict(figure: Any) -> dict:
     }
 
 
+def _null_nan(value: Any) -> Any:
+    """Non-finite floats (poisoned points) serialize as JSON null."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def _sweep_dict(sweep: Any) -> dict:
     return {
         "axes": {name: list(vals) for name, vals in sweep.axes.items()},
@@ -78,9 +86,9 @@ def _sweep_dict(sweep: Any) -> dict:
         "cells": [
             {
                 "params": dict(c.params),
-                "values": list(c.values),
-                "mean": c.mean,
-                "std": c.std,
+                "values": [_null_nan(v) for v in c.values],
+                "mean": _null_nan(c.mean),
+                "std": _null_nan(c.std),
                 # Volatile execution metadata (excluded from the
                 # canonical form, see canonical_metrics_bytes).
                 "wall_s": list(getattr(c, "wall_s", ()) or ()),
@@ -391,13 +399,51 @@ def _check_provenance(prov: Any, errors: List[str]) -> None:
     if isinstance(summary, dict):
         if summary.get("n_points") != len(points):
             errors.append("provenance.summary.n_points != len(points)")
-        hits = sum(1 for p in points if isinstance(p, dict) and p.get("cache_hit"))
+        poisoned = sum(
+            1
+            for p in points
+            if isinstance(p, dict) and p.get("status") == "poisoned"
+        )
+        hits = sum(
+            1
+            for p in points
+            if isinstance(p, dict)
+            and p.get("cache_hit")
+            and p.get("status") != "poisoned"
+        )
         if summary.get("cache_hits") != hits:
             errors.append(
                 "provenance.summary.cache_hits does not match points"
             )
-        if summary.get("executed") != len(points) - hits:
+        if summary.get("executed") != len(points) - hits - poisoned:
             errors.append("provenance.summary.executed does not match points")
+        # Supervisor-era summaries (with a "poisoned" key) must close
+        # the conservation exactly; older /2 artifacts predate it.
+        if "poisoned" in summary:
+            if summary.get("poisoned") != poisoned:
+                errors.append(
+                    "provenance.summary.poisoned does not match points"
+                )
+            total = (
+                summary.get("cache_hits", 0)
+                + summary.get("executed", 0)
+                + summary.get("poisoned", 0)
+            )
+            if total != summary.get("n_points"):
+                errors.append(
+                    "provenance conservation violated: n_points != "
+                    "cache_hits + executed + poisoned "
+                    f"({summary.get('n_points')} != {total})"
+                )
+            for i, point in enumerate(points):
+                if (
+                    isinstance(point, dict)
+                    and point.get("status") == "poisoned"
+                    and not point.get("error")
+                ):
+                    errors.append(
+                        f"provenance.points[{i}]: poisoned without an error"
+                    )
 
 
 def validate_metrics_payload(payload: Any) -> List[str]:

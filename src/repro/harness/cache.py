@@ -108,8 +108,12 @@ class ResultCache:
          "records": [<run snapshot>, ...], "meta": {"wall_s": ..., ...}}
 
     Reads tolerate missing/corrupt/foreign files (they count as misses);
-    writes are atomic (tempfile + ``os.replace``) so a killed sweep never
-    leaves a half-written entry behind.
+    a corrupt or mismatched entry is additionally quarantined once —
+    renamed to ``<key>.bad`` — so every later run misses it by file
+    absence instead of re-parsing the same broken JSON, and the evidence
+    survives for inspection. Writes are atomic (tempfile +
+    ``os.replace``) so a killed sweep never leaves a half-written entry
+    behind.
     """
 
     def __init__(self, root: Any) -> None:
@@ -118,18 +122,31 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (once) so it never re-parses."""
+        try:
+            os.replace(path, path.with_suffix(".bad"))
+        except OSError:  # pragma: no cover - raced or read-only cache
+            pass
+
     def get(self, key: str) -> Optional[dict]:
         """The cached entry for ``key``, or ``None`` on any miss."""
         path = self.path_for(key)
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss: nothing to quarantine
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return None
         if (
             not isinstance(entry, dict)
             or entry.get("schema") != CACHE_SCHEMA
             or entry.get("key") != key
         ):
+            self._quarantine(path)
             return None
         return entry
 

@@ -135,7 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "rewrite PATH atomically with live fleet status (schema "
-            "repro.fleet-status/1) as sweep points complete — the "
+            "repro.fleet-status/2) as sweep points complete — the "
             "machine-readable surface for external monitors"
         ),
     )
@@ -176,9 +176,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help=(
-            "resume an interrupted sweep from its cache directory "
-            "(this is the default whenever caching is on; the flag "
-            "exists to make intent explicit)"
+            "resume an interrupted sweep: replay the crash-consistent "
+            "journal (and the result cache) before executing anything, "
+            "so only the points the previous run never resolved are run"
+        ),
+    )
+    fault = parser.add_argument_group("fault tolerance (sweep execution)")
+    fault.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry a failed point up to N times with seeded exponential "
+            "backoff; a point that fails every attempt is quarantined "
+            "as 'poisoned' (null in the artifact) instead of failing "
+            "the sweep (default: 0 — fail fast)"
+        ),
+    )
+    fault.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per point in parallel runs; a worker "
+            "stuck past it is killed and the attempt counts as a "
+            "failure (retried/quarantined per --retries)"
+        ),
+    )
+    fault.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only JSONL journal of resolved points, fsync'd per "
+            "record (default for 'sweep' with caching on: "
+            "<cache-dir>/sweep-journal.jsonl); --resume replays it"
         ),
     )
     sweep = parser.add_argument_group("generic sweeps ('sweep' target)")
@@ -311,6 +346,9 @@ def _run_sweep_cmd(args) -> int:
             if args.cache_dir is not None
             else Path(".repro-cache") / "sweep"
         )
+    journal = args.journal
+    if journal is None and cache_dir is not None:
+        journal = cache_dir / "sweep-journal.jsonl"
     t0 = time.perf_counter()
     try:
         result = run_sweep(
@@ -328,6 +366,11 @@ def _run_sweep_cmd(args) -> int:
             max_executions=args.max_points,
             status=args.status,
             status_json=args.status_json,
+            retries=args.retries,
+            point_timeout_s=args.point_timeout,
+            journal=journal,
+            resume=args.resume,
+            drain_signals=True,
         )
     except SweepInterrupted as exc:
         print(f"sweep interrupted: {exc}", file=sys.stderr)
@@ -370,12 +413,15 @@ def _run_one(
     timeline=None,
     status: bool = False,
     status_json: Optional[Path] = None,
+    retries: int = 0,
+    point_timeout_s: Optional[float] = None,
 ) -> None:
     t0 = time.perf_counter()
     data = run_figure(
         fig_id, profile, metrics_path=metrics_out, faults=faults, flow=flow,
         timeline=timeline, parallel=parallel, cache_dir=cache_dir,
         fresh=fresh, status=status, status_json=status_json,
+        retries=retries, point_timeout_s=point_timeout_s,
     )
     elapsed = time.perf_counter() - t0
     report = data.render()
@@ -466,13 +512,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fig_id, args.profile, args.out, metrics_out, args.faults,
                 args.flow, args.parallel, fig_cache, args.fresh,
                 _timeline_config(args), args.status, args.status_json,
+                args.retries, args.point_timeout,
             )
         return 0
     if args.target == "validate":
         from repro.harness.validate import render_results, validate_reproduction
 
         results = validate_reproduction(
-            profile=args.profile, parallel=args.parallel, cache_dir=fig_cache
+            profile=args.profile, parallel=args.parallel, cache_dir=fig_cache,
+            retries=args.retries, point_timeout_s=args.point_timeout,
         )
         print(render_results(results))
         failed = [r for r in results if not r.passed]
@@ -498,6 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.target, args.profile, args.out, args.metrics_out, args.faults,
         args.flow, args.parallel, fig_cache, args.fresh,
         _timeline_config(args), args.status, args.status_json,
+        args.retries, args.point_timeout,
     )
     return 0
 

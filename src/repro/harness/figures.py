@@ -633,6 +633,7 @@ def run_figure(
     fig_id: str, profile: str = "paper", metrics_path=None, faults=None,
     flow=None, timeline=None, parallel: int = 1, cache_dir=None,
     fresh: bool = False, status: bool = False, status_json=None,
+    retries: int = 0, point_timeout_s=None,
 ) -> FigureData:
     """Run one registered experiment by id.
 
@@ -664,6 +665,11 @@ def run_figure(
     artifact contents either way (modulo the provenance block).
     ``status``/``status_json`` turn on live fleet telemetry while the
     pool runs (see :mod:`repro.harness.fleet`).
+
+    ``retries``/``point_timeout_s`` configure the pool's supervisor:
+    failed or hung points are retried with seeded backoff and the
+    sweep survives worker crashes. Figures fail fast on an exhausted
+    point (no quarantine) — a figure with holes in it is not a figure.
     """
     try:
         fn, _ = FIGURES[fig_id]
@@ -730,6 +736,8 @@ def run_figure(
                         cache_read=not fresh,
                         status=status,
                         status_json=status_json,
+                        retries=retries,
+                        point_timeout_s=point_timeout_s,
                     )
                 )
             )

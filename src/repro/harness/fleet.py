@@ -27,7 +27,8 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, TextIO
 
 #: Schema tag stamped into every ``--status-json`` document.
-STATUS_SCHEMA = "repro.fleet-status/1"
+#: /2 added the supervision counters (retries, poisoned, restarts).
+STATUS_SCHEMA = "repro.fleet-status/2"
 
 
 class FleetStatus:
@@ -65,6 +66,12 @@ class FleetStatus:
         self.cache_hits = cache_hits
         self.done = cache_hits
         self.executed = 0
+        #: Failed attempts that were sent back for retry.
+        self.retries = 0
+        #: Points quarantined after exhausting their retry budget.
+        self.poisoned = 0
+        #: Worker processes respawned after a crash, kill, or hang.
+        self.restarts = 0
         self.nworkers = nworkers
         self.interval_s = interval_s
         self.stream = stream
@@ -103,6 +110,24 @@ class FleetStatus:
             state["points"] += 1
             state["wall_s"] += wall_s
             state["current"] = None
+        self.maybe_emit()
+
+    def on_retry(self, slot: int) -> None:
+        """A point attempt failed and was queued for retry."""
+        self.retries += 1
+        self.maybe_emit()
+
+    def on_poisoned(self, worker_id: int) -> None:
+        """A point exhausted its retry budget and was quarantined."""
+        self.done += 1
+        self.poisoned += 1
+        state = self._worker(worker_id)
+        state["current"] = None
+        self.maybe_emit()
+
+    def on_restart(self, why: str) -> None:
+        """The supervisor replaced a dead or hung worker."""
+        self.restarts += 1
         self.maybe_emit()
 
     # ------------------------------------------------------------------
@@ -144,6 +169,9 @@ class FleetStatus:
             "cache_hits": self.cache_hits,
             "hit_rate": round(self.hit_rate, 6),
             "executed": self.executed,
+            "retries": self.retries,
+            "poisoned": self.poisoned,
+            "restarts": self.restarts,
             "elapsed_s": round(elapsed, 3),
             "throughput_pts_per_s": round(self.throughput(), 3),
             "eta_s": round(eta, 3) if eta is not None else None,
@@ -168,6 +196,11 @@ class FleetStatus:
         rate = self.throughput()
         if rate > 0:
             parts.append(f"{rate:.1f} pt/s")
+        if self.retries or self.poisoned or self.restarts:
+            parts.append(
+                f"retries {self.retries} | poisoned {self.poisoned} "
+                f"| restarts {self.restarts}"
+            )
         eta = self.eta_s()
         if eta is not None:
             parts.append(f"eta {eta:.0f}s")
@@ -181,9 +214,17 @@ class FleetStatus:
     def _write_json(self) -> None:
         if self.path is None:
             return
+        # The serve front end polls this file across crashes, so the
+        # write must be durable before it becomes visible: create the
+        # directory if a caller points into one that does not exist yet,
+        # and fsync the temp file before the atomic replace so a power
+        # cut can never leave a visible-but-empty status document.
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(self.status_payload(), indent=2) + "\n")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.status_payload(), indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
 
     def maybe_emit(self, force: bool = False) -> None:

@@ -18,6 +18,7 @@ schedule.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -29,10 +30,16 @@ from repro.util.tables import render_table
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid point of a sweep."""
+    """One grid point of a sweep.
+
+    Poisoned seed-runs (points quarantined after exhausting their
+    retry budget) appear as ``nan`` in :attr:`values`; the mean/std
+    aggregate over the finite values only, so one quarantined seed
+    degrades a cell's error bars instead of wiping out the cell.
+    """
 
     params: Dict[str, Any]
-    #: Per-seed metric values, in seed order.
+    #: Per-seed metric values, in seed order (``nan`` = poisoned).
     values: Tuple[float, ...]
     #: Per-seed execution wall-clock (0.0 for replayed cache hits).
     wall_s: Tuple[float, ...] = ()
@@ -40,12 +47,18 @@ class SweepCell:
     cache_hits: int = 0
 
     @property
+    def finite_values(self) -> Tuple[float, ...]:
+        return tuple(v for v in self.values if math.isfinite(v))
+
+    @property
     def mean(self) -> float:
-        return mean_std(self.values)[0]
+        finite = self.finite_values
+        return mean_std(finite)[0] if finite else float("nan")
 
     @property
     def std(self) -> float:
-        return mean_std(self.values)[1]
+        finite = self.finite_values
+        return mean_std(finite)[1] if finite else float("nan")
 
 
 @dataclass
@@ -102,6 +115,14 @@ class SweepResult:
             f"pool: {n} point(s), {hits} cache hit(s) ({rate:.0%}), "
             f"{executed} executed in {wall:.2f}s"
         ]
+        poisoned = summary.get("poisoned", 0)
+        retries = summary.get("retries", 0)
+        restarts = summary.get("restarts", 0)
+        if poisoned or retries or restarts:
+            parts.append(
+                f"  faults: {retries} retry(ies), {poisoned} poisoned, "
+                f"{restarts} worker restart(s)"
+            )
         workers = summary.get("workers") or {}
         if len(workers) > 1 or (workers and "0" not in workers):
             per = ", ".join(
@@ -130,6 +151,11 @@ def run_sweep(
     max_executions: Optional[int] = None,
     status: bool = False,
     status_json: Optional[Path] = None,
+    retries: int = 0,
+    point_timeout_s: Optional[float] = None,
+    journal: Optional[Path] = None,
+    resume: bool = False,
+    drain_signals: bool = False,
 ) -> SweepResult:
     """Evaluate ``fn(seed=..., **params)`` over the cartesian grid.
 
@@ -180,6 +206,24 @@ def run_sweep(
     status_json:
         Rewrite this JSON file with live fleet status (queue depth,
         hit rate, per-worker throughput, ETA) as points complete.
+    retries:
+        Extra attempts per point after a failure (seeded exponential
+        backoff between attempts). With retries on, a point that
+        fails every attempt is quarantined as a ``poisoned`` outcome
+        (``nan`` in its cell) instead of failing the sweep.
+    point_timeout_s:
+        Wall-clock budget per point in parallel runs; a worker stuck
+        past it is killed and the attempt counts as a failure.
+    journal:
+        Append-only JSONL journal of resolved points (fsync'd per
+        record) for crash recovery; see :mod:`repro.harness.journal`.
+    resume:
+        Replay a matching journal before executing anything, so a
+        sweep killed mid-flight continues from its last durable point.
+    drain_signals:
+        Handle SIGINT/SIGTERM as a graceful drain: finish in-flight
+        points, flush the journal and fleet status, then raise
+        :class:`~repro.harness.pool.SweepInterrupted`.
 
     Examples
     --------
@@ -218,6 +262,14 @@ def run_sweep(
         max_executions=max_executions,
         status=status,
         status_json=status_json,
+        retries=retries,
+        point_timeout_s=point_timeout_s,
+        # Quarantine only when the caller opted into fault tolerance;
+        # a plain sweep still fails fast on the first point error.
+        quarantine=bool(retries or point_timeout_s is not None),
+        journal=journal,
+        resume=resume,
+        drain_signals=drain_signals,
     )
 
     session = None
@@ -243,7 +295,10 @@ def run_sweep(
         result.cells.append(
             SweepCell(
                 params=params,
-                values=tuple(float(o.value) for o in chunk),
+                values=tuple(
+                    float("nan") if o.value is None else float(o.value)
+                    for o in chunk
+                ),
                 wall_s=tuple(o.wall_s for o in chunk),
                 cache_hits=sum(1 for o in chunk if o.cache_hit),
             )

@@ -168,16 +168,23 @@ def validate_figure(
     profile: str = "quick",
     parallel: int = 1,
     cache_dir=None,
+    retries: int = 0,
+    point_timeout_s=None,
 ) -> CheckResult:
     """Regenerate one figure and check its shape claim.
 
     ``parallel``/``cache_dir`` configure the sweep pool for the
-    figure's grid points (identical data, less wall-clock).
+    figure's grid points (identical data, less wall-clock);
+    ``retries``/``point_timeout_s`` make a long validation run survive
+    worker crashes and hangs (see :mod:`repro.harness.pool`).
     """
     checker = CHECKERS.get(fig_id)
     if checker is None:
         raise HarnessError(f"no checker for {fig_id!r}")
-    data = run_figure(fig_id, profile, parallel=parallel, cache_dir=cache_dir)
+    data = run_figure(
+        fig_id, profile, parallel=parallel, cache_dir=cache_dir,
+        retries=retries, point_timeout_s=point_timeout_s,
+    )
     passed, details = checker(data)
     return CheckResult(fig_id=fig_id, passed=passed, details=details)
 
@@ -187,11 +194,16 @@ def validate_reproduction(
     figures: Optional[Iterable[str]] = None,
     parallel: int = 1,
     cache_dir=None,
+    retries: int = 0,
+    point_timeout_s=None,
 ) -> List[CheckResult]:
     """Check the shape claims of the given figures (default: all)."""
     ids = list(figures) if figures is not None else list(FIGURES)
     return [
-        validate_figure(fig_id, profile, parallel=parallel, cache_dir=cache_dir)
+        validate_figure(
+            fig_id, profile, parallel=parallel, cache_dir=cache_dir,
+            retries=retries, point_timeout_s=point_timeout_s,
+        )
         for fig_id in ids
     ]
 

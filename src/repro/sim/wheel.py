@@ -75,6 +75,7 @@ class TimerWheel:
         "_cur_end",
         "_live",
         "_dead",
+        "_high",
     )
 
     def __init__(
@@ -101,6 +102,10 @@ class TimerWheel:
         self._live = 0
         #: Cancelled corpses still physically inside the structure.
         self._dead = 0
+        #: Physical entries (live or dead) sitting in rings >= 1 or in
+        #: the overflow list. While zero — the common case — cursor
+        #: advances never need to consider cascade ordering.
+        self._high = 0
 
     # ------------------------------------------------------------------
     # Arm / cancel
@@ -189,51 +194,93 @@ class TimerWheel:
         pos = self._pos
         width = self.granularity
         slots = self.slots
+        level = 0
         for ring in self._rings:
             ai = int(t / width)
             if ai - int(pos / width) < slots:
                 ring[ai % slots].append(ev)
+                if level:
+                    self._high += 1
                 return
             width *= slots
+            level += 1
         self._overflow.append(ev)
+        self._high += 1
 
     def _advance(self) -> None:
-        """Move the cursor one step: materialize the next non-empty
-        level-0 bucket, cascade one higher-level bucket down, or pull the
-        overflow list back in. Only called while live events remain."""
+        """Move the cursor one step: materialize the earliest due level-0
+        bucket, or — when a higher-level bucket comes due at or before it
+        — cascade that bucket down first. Only called while live events
+        remain.
+
+        The cascade-before-materialize rule is what keeps the merge
+        order exact: a level-k bucket spans ``slots**k`` level-0 widths,
+        so once the cursor would move past its start, events anywhere in
+        its span could be earlier than anything the level-0 scan sees.
+        Materializing ring-0 buckets while skipping such a pending
+        bucket would fire events out of order (time running backwards
+        once the bucket finally cascades)."""
         g = self.granularity
         slots = self.slots
         rings = self._rings
         ring0 = rings[0]
         base0 = int(self._pos / g)
+        best0_start = None
+        best0_idx = -1
         for step in range(1, slots):
             idx = (base0 + step) % slots
-            bucket = ring0[idx]
-            if bucket:
-                start = float(base0 + step) * g
-                self._pos = start
-                self._cur_end = start + g
-                ring0[idx] = []
-                heapify(bucket)
-                self._current = bucket
+            if ring0[idx]:
+                best0_start = float(base0 + step) * g
+                best0_idx = idx
+                break
+        if self._high:
+            # Earliest pending bucket in rings >= 1; on equal starts the
+            # higher level cascades first (its span encloses the lower).
+            high_start = None
+            high_level = -1
+            high_idx = -1
+            width = g * slots
+            for level in range(1, self.levels):
+                ringk = rings[level]
+                basek = int(self._pos / width)
+                for step in range(slots):
+                    idx = (basek + step) % slots
+                    if ringk[idx]:
+                        start = float(basek + step) * width
+                        if high_start is None or start <= high_start:
+                            high_start = start
+                            high_level = level
+                            high_idx = idx
+                        break
+                width *= slots
+            if high_start is not None and (
+                best0_start is None or high_start <= best0_start
+            ):
+                if high_start > self._pos:
+                    # Aligned to this level's width, hence to g too.
+                    self._pos = high_start
+                    self._cur_end = high_start + g
+                ringk = rings[high_level]
+                bucket = ringk[high_idx]
+                ringk[high_idx] = []
+                self._high -= len(bucket)
+                if best0_start == high_start:
+                    # The ring-0 bucket starting at the same instant is
+                    # now the current window; fold it in so it is not
+                    # stranded behind the advanced cursor (the scan
+                    # above never revisits the cursor's own slot).
+                    bucket = bucket + ring0[best0_idx]
+                    ring0[best0_idx] = []
+                self._redistribute(bucket)
                 return
-        width = g * slots
-        for level in range(1, self.levels):
-            ringk = rings[level]
-            basek = int(self._pos / width)
-            for step in range(slots):
-                idx = (basek + step) % slots
-                bucket = ringk[idx]
-                if bucket:
-                    start = float(basek + step) * width
-                    if start > self._pos:
-                        # Aligned to this level's width, hence to g too.
-                        self._pos = start
-                        self._cur_end = start + g
-                    ringk[idx] = []
-                    self._redistribute(bucket)
-                    return
-            width *= slots
+        if best0_start is not None:
+            self._pos = best0_start
+            self._cur_end = best0_start + g
+            bucket = ring0[best0_idx]
+            ring0[best0_idx] = []
+            heapify(bucket)
+            self._current = bucket
+            return
         self._drain_overflow()
 
     def _redistribute(self, bucket: list) -> None:
@@ -248,6 +295,7 @@ class TimerWheel:
         # can hold), so every live event sits in the overflow list.
         overflow = self._overflow
         self._overflow = []
+        self._high -= len(overflow)
         live = [ev for ev in overflow if ev[EV_STATE]]
         self._dead -= len(overflow) - len(live)
         g = self.granularity
@@ -266,3 +314,4 @@ class TimerWheel:
         self._current = []
         self._overflow = []
         self._dead = 0
+        self._high = 0

@@ -33,6 +33,26 @@ class TestAccounting:
         assert fs.executed == 0
         assert fs.workers == {}
 
+    def test_supervision_counters(self):
+        fs = FleetStatus(4, nworkers=2, interval_s=1e9)
+        fs.on_heartbeat(1, {"params": {"x": 1}})
+        fs.on_retry(0)
+        fs.on_retry(0)
+        fs.on_restart("worker 1 died")
+        fs.on_poisoned(1)
+        assert fs.retries == 2
+        assert fs.restarts == 1
+        assert fs.poisoned == 1
+        assert fs.done == 1  # a poisoned point is resolved, not executed
+        assert fs.executed == 0
+        assert fs.workers[1]["current"] is None  # quarantine clears it
+        p = fs.status_payload()
+        assert p["retries"] == 2
+        assert p["poisoned"] == 1
+        assert p["restarts"] == 1
+        line = fs.render_line()
+        assert "poisoned 1" in line and "restarts 1" in line
+
 
 class TestPayload:
     def test_status_payload_shape(self):

@@ -1,0 +1,164 @@
+"""Tests for the crash-consistent sweep journal."""
+
+import json
+
+from repro.harness.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    journal_fingerprint,
+)
+from repro.harness.pool import PointOutcome, PointSpec
+
+
+def _specs(n=3, tag_seed=0):
+    return [
+        PointSpec(index=i, params={"x": i + tag_seed}, seed=0, key=None)
+        for i in range(n)
+    ]
+
+
+def _outcome(spec, value=1.0, status="ok", error=None, retries=0):
+    return PointOutcome(
+        spec=spec, value=value, status=status, error=error, retries=retries,
+        worker=1, wall_s=0.25,
+    )
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert journal_fingerprint("t", _specs()) == journal_fingerprint(
+            "t", _specs()
+        )
+
+    def test_sensitive_to_tag_and_grid(self):
+        base = journal_fingerprint("t", _specs())
+        assert journal_fingerprint("u", _specs()) != base
+        assert journal_fingerprint("t", _specs(tag_seed=1)) != base
+        assert journal_fingerprint("t", _specs(n=2)) != base
+
+
+class TestWriteAndReplay:
+    def test_header_then_points_as_jsonl(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.record_point(_outcome(specs[2], value=9.0, retries=1))
+        j.complete()
+        j.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["schema"] == JOURNAL_SCHEMA
+        assert lines[0]["fingerprint"] == fp
+        assert [l["kind"] for l in lines[1:]] == ["point", "point", "complete"]
+
+    def test_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[1], value=4.0))
+        j.record_point(
+            _outcome(specs[2], value=None, status="poisoned", error="tb",
+                     retries=2)
+        )
+        j.close()
+        entries = SweepJournal.replay(path, fp)
+        assert set(entries) == {1, 2}
+        assert entries[1]["value"] == 4.0
+        assert entries[2]["status"] == "poisoned"
+        assert entries[2]["error"] == "tb"
+        assert entries[2]["retries"] == 2
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert SweepJournal.replay(tmp_path / "nope.jsonl", "fp") == {}
+
+    def test_replay_rejects_foreign_fingerprint(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.close()
+        assert SweepJournal.replay(path, "different") == {}
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.close()
+        # Simulate a crash mid-append: a half-written final record.
+        with path.open("a") as fh:
+            fh.write('{"kind": "point", "index": 1, "val')
+        entries = SweepJournal.replay(path, fp)
+        assert set(entries) == {0}
+
+    def test_duplicate_index_keeps_last(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0], value=1.0))
+        j.record_point(_outcome(specs[0], value=2.0))
+        j.close()
+        assert SweepJournal.replay(path, fp)[0]["value"] == 2.0
+
+    def test_error_text_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(
+            _outcome(specs[0], value=None, status="poisoned",
+                     error="x" * 10_000)
+        )
+        j.close()
+        entry = SweepJournal.replay(path, fp)[0]
+        assert len(entry["error"]) == 4000
+
+
+class TestRotation:
+    def test_resume_appends_to_matching_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.close()
+        j = SweepJournal.open(path, fp, len(specs), resume=True)
+        j.record_point(_outcome(specs[1]))
+        j.close()
+        assert set(SweepJournal.replay(path, fp)) == {0, 1}
+        # Exactly one header: the resume appended, not rotated.
+        kinds = [
+            json.loads(l)["kind"] for l in path.read_text().splitlines()
+        ]
+        assert kinds.count("header") == 1
+
+    def test_without_resume_rotates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.close()
+        j = SweepJournal.open(path, fp, len(specs), resume=False)
+        j.close()
+        assert SweepJournal.replay(path, fp) == {}
+
+    def test_resume_over_foreign_journal_rotates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = _specs()
+        old = journal_fingerprint("other", specs)
+        j = SweepJournal.open(path, old, len(specs), resume=False)
+        j.record_point(_outcome(specs[0]))
+        j.close()
+        fp = journal_fingerprint("t", specs)
+        j = SweepJournal.open(path, fp, len(specs), resume=True)
+        j.close()
+        # The stale journal was rotated out, never replayed into "t".
+        assert SweepJournal.replay(path, fp) == {}
+        assert SweepJournal.replay(path, old) == {}

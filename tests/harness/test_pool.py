@@ -2,7 +2,11 @@
 
 import functools
 import json
+import os
 import random
+import signal
+import time
+from pathlib import Path
 
 import pytest
 
@@ -42,6 +46,45 @@ def _ambient(seed, *, x):
     # Deliberately leaks dependence on the global RNG the executor
     # scrambles — results must differ between serial and parallel.
     return random.random()
+
+
+# Chaos point functions keyed off an out-of-band marker directory (env
+# var, never a point param) so the degraded runs keep the exact params
+# — and therefore the exact canonical artifact bytes — of clean runs.
+_FAILDIR_ENV = "REPRO_TEST_FAILDIR"
+
+
+def _marker_once(name):
+    """True exactly once per marker name (False with chaos disabled)."""
+    faildir = os.environ.get(_FAILDIR_ENV)
+    if not faildir:
+        return False
+    marker = Path(faildir) / name
+    if marker.exists():
+        return False
+    marker.touch()
+    return True
+
+
+def _flaky(seed, *, x):
+    # Transient failure: the first attempt at every point fails.
+    if _marker_once(f"flaky-{x}-{seed}"):
+        raise ValueError(f"transient failure at x={x}")
+    return float(x * x + seed)
+
+
+def _kamikaze(seed, *, x):
+    # One point SIGKILLs its worker mid-execution, once.
+    if x == 2 and _marker_once("kamikaze"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return float(x * x + seed)
+
+
+def _sleeper(seed, *, x):
+    # One point hangs far past any sane timeout, once.
+    if x == 1 and _marker_once("sleeper"):
+        time.sleep(300)
+    return float(x * x + seed)
 
 
 #: Tiny histogram config so app-backed tests stay fast.
@@ -117,13 +160,28 @@ class TestResultCache:
     def test_missing_is_miss(self, tmp_path):
         assert ResultCache(tmp_path).get("0" * 64) is None
 
-    def test_corrupt_file_is_miss(self, tmp_path):
+    def test_corrupt_file_is_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "ab" + "0" * 62
         path = cache.path_for(key)
         path.parent.mkdir(parents=True)
         path.write_text("{not json")
         assert cache.get(key) is None
+        # Quarantined to <key>.bad: the corrupt JSON is parsed at most
+        # once and the evidence survives for inspection.
+        assert not path.exists()
+        bad = path.with_suffix(".bad")
+        assert bad.read_text() == "{not json"
+        assert cache.get(key) is None  # still a miss, nothing re-parsed
+
+    def test_quarantined_entry_can_be_rewritten(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(tag="t", params={"x": 1}, seed=0)
+        cache.put(key, {"value": 1.0})
+        cache.path_for(key).write_text("garbage")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 2.0})
+        assert cache.get(key)["value"] == 2.0
 
     def test_foreign_schema_is_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -132,6 +190,7 @@ class TestResultCache:
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"schema": "other/1", "key": key}))
         assert cache.get(key) is None
+        assert path.with_suffix(".bad").exists()
 
     def test_key_mismatch_is_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -396,3 +455,310 @@ class TestSweepCli:
     def test_sweep_bad_axes(self, capsys):
         rc = cli.main(["sweep", "--axes", "garbage"])
         assert rc == 2
+
+
+# ----------------------------------------------------------------------
+# Supervision: crash/hang recovery, retries, poison quarantine
+# ----------------------------------------------------------------------
+def _chaos(seed, *, x):
+    """All three failure modes behind one point fn (marker-gated)."""
+    if x == 2 and _marker_once("kamikaze"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if x == 1 and _marker_once("sleeper"):
+        time.sleep(300)
+    if x % 3 == 0 and _marker_once(f"flaky-{x}-{seed}"):
+        raise ValueError(f"transient failure at x={x}")
+    return float(x * x + seed)
+
+
+@pytest.fixture
+def faildir(tmp_path, monkeypatch):
+    d = tmp_path / "faults"
+    d.mkdir()
+    monkeypatch.setenv(_FAILDIR_ENV, str(d))
+    return d
+
+
+class TestWorkerDiedMessage:
+    def test_terminal_failure_ships_traceback(self):
+        """A worker that dies outside point execution must put a final
+        ("died", wid, traceback) message before exiting (satellite 1)."""
+        import multiprocessing
+
+        from repro.harness.pool import _WORKER_DIED_EXIT, _worker_main
+
+        mp = multiprocessing.get_context("fork")
+        resq = mp.SimpleQueue()
+        parent_conn, child_conn = mp.Pipe()
+        # specs=None: the first slot lookup raises outside the per-point
+        # try/except, driving the terminal-failure path.
+        proc = mp.Process(
+            target=_worker_main,
+            args=(7, _square, None, False, child_conn, resq, []),
+        )
+        proc.start()
+        child_conn.close()
+        parent_conn.send(0)
+        msg = resq.get()
+        proc.join(10)
+        assert msg[0] == "died"
+        assert msg[1] == 7
+        assert "TypeError" in msg[2]
+        assert proc.exitcode == _WORKER_DIED_EXIT
+
+
+class TestSupervision:
+    GRID = [{"x": i} for i in range(8)]
+
+    def _config(self, **kw):
+        base = dict(parallel=3, retries=2, backoff_base_s=0.01,
+                    quarantine=True)
+        base.update(kw)
+        return PoolConfig(**base)
+
+    def test_sigkilled_worker_is_replaced(self, faildir):
+        with pool_session(self._config()) as ctx:
+            outcomes = map_points(_kamikaze, self.GRID)
+        assert [o.value for o in outcomes] == [float(i * i) for i in range(8)]
+        assert ctx.worker_restarts >= 1
+        assert ctx.poisoned == 0
+        assert (faildir / "kamikaze").exists()  # the kill really happened
+
+    def test_hung_worker_is_killed_and_point_retried(self, faildir):
+        with pool_session(
+            self._config(point_timeout_s=2.0)
+        ) as ctx:
+            outcomes = map_points(_sleeper, self.GRID)
+        assert [o.value for o in outcomes] == [float(i * i) for i in range(8)]
+        assert ctx.worker_restarts >= 1
+        hung = outcomes[1]
+        assert hung.retries >= 1  # the timed-out attempt was charged
+
+    def test_transient_failures_retried_parallel(self, faildir):
+        with pool_session(self._config()) as ctx:
+            outcomes = map_points(_flaky, self.GRID)
+        assert [o.value for o in outcomes] == [float(i * i) for i in range(8)]
+        assert ctx.poisoned == 0
+        assert ctx.retried_ok == 8  # every point failed exactly once
+        assert ctx.retry_attempts == 8
+
+    def test_transient_failures_retried_serial(self, faildir):
+        with pool_session(self._config(parallel=1)) as ctx:
+            outcomes = map_points(_flaky, self.GRID)
+        assert [o.value for o in outcomes] == [float(i * i) for i in range(8)]
+        assert ctx.retried_ok == 8
+
+    def test_exhausted_point_poisoned_with_conservation(self):
+        grid = [{"x": 0}, {"x": 1}, {"x": 2}]
+        # Parallel path: every point exhausts its budget and quarantines.
+        with pool_session(self._config(retries=1)):
+            par = map_points(_boom, grid[:2], tag="poison-par")
+            assert [o.status for o in par] == ["poisoned", "poisoned"]
+        with pool_session(self._config(parallel=1, retries=1)) as ctx:
+            outcomes = map_points(
+                lambda seed, x: _boom(seed, x=x) if x == 1 else float(x),
+                grid,
+            )
+        assert [o.status for o in outcomes] == ["ok", "poisoned", "ok"]
+        poisoned = outcomes[1]
+        assert poisoned.value is None
+        assert "exploded" in poisoned.error
+        assert poisoned.retries == 1
+        summary = ctx.provenance_payload()["summary"]
+        assert summary["n_points"] == 3
+        assert summary["poisoned"] == 1
+        assert (
+            summary["cache_hits"] + summary["executed"] + summary["poisoned"]
+            == summary["n_points"]
+        )
+
+    def test_poisoned_point_never_cached(self, tmp_path):
+        with pool_session(
+            self._config(parallel=1, retries=1, cache_dir=tmp_path)
+        ):
+            map_points(_boom, [{"x": 5}])
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_without_quarantine_failure_still_fatal(self):
+        with pool_session(self._config(retries=1, quarantine=False)):
+            with pytest.raises(HarnessError, match="exploded"):
+                map_points(_boom, [{"x": 0}, {"x": 1}])
+
+    def test_restart_cap_aborts(self, faildir):
+        cfg = self._config(parallel=2, retries=5, max_restarts=0)
+        with pool_session(cfg):
+            with pytest.raises(HarnessError, match="gave up"):
+                map_points(_kamikaze, self.GRID)
+
+    def test_chaos_artifact_byte_identical_to_clean_serial(
+        self, tmp_path, faildir, monkeypatch
+    ):
+        """The acceptance-criteria invariant: one SIGKILLed worker, one
+        hung worker, and transient failures — same canonical bytes as a
+        fault-free serial run."""
+        chaos_p = tmp_path / "chaos.json"
+        clean_p = tmp_path / "clean.json"
+        axes = {"x": list(range(8))}
+        chaos = run_sweep(
+            _chaos, axes, seeds=(0,), tag="chaos-inv",
+            metrics_path=chaos_p, parallel=3, retries=3,
+            point_timeout_s=2.0,
+        )
+        monkeypatch.delenv(_FAILDIR_ENV)
+        clean = run_sweep(
+            _chaos, axes, seeds=(0,), tag="chaos-inv", metrics_path=clean_p,
+        )
+        assert [c.values for c in chaos.cells] == [
+            c.values for c in clean.cells
+        ]
+        a = json.loads(chaos_p.read_text())
+        b = json.loads(clean_p.read_text())
+        assert validate_metrics_payload(a) == []
+        assert canonical_metrics_bytes(a) == canonical_metrics_bytes(b)
+        summary = a["provenance"]["summary"]
+        assert summary["poisoned"] == 0
+        assert summary["retries"] >= 3  # kill + hang + flaky all charged
+        assert summary["restarts"] >= 2
+
+    def test_poisoned_cell_serializes_null_and_validates(self, tmp_path):
+        path = tmp_path / "poisoned.json"
+        result = run_sweep(
+            _boom, {"x": [0]}, seeds=(0,), tag="poison-artifact",
+            metrics_path=path, retries=1,
+        )
+        import math
+
+        assert math.isnan(result.cells[0].values[0])
+        assert math.isnan(result.cells[0].mean)
+        payload = json.loads(path.read_text())
+        assert validate_metrics_payload(payload) == []
+        cell = payload["sweep"]["cells"][0]
+        assert cell["values"] == [None]
+        assert cell["mean"] is None
+        point = payload["provenance"]["points"][0]
+        assert point["status"] == "poisoned"
+        assert "exploded" in point["error"]
+
+
+# ----------------------------------------------------------------------
+# Interrupt semantics: graceful drain, crash-consistent journal, resume
+# ----------------------------------------------------------------------
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _sweep_argv(cache, *extra):
+    import sys
+
+    return [
+        sys.executable, "-m", "repro.harness", "sweep",
+        "--app", "histogram",
+        "--axes", "nodes=1,2;scheme=WW,WPs",
+        "--fixed", "updates_per_pe=15000,buffer_items=16,batch=100",
+        "--seeds", "0,1",
+        "--parallel", "2",
+        "--cache-dir", str(cache),
+        *extra,
+    ]
+
+
+def _journal_points(journal):
+    """Parsed point records of a journal (asserts every line is JSON)."""
+    if not journal.exists():
+        return []
+    docs = [json.loads(line) for line in journal.read_text().splitlines()]
+    return [d for d in docs if d.get("kind") == "point"]
+
+
+def _interrupt_mid_sweep(tmp_path, signum):
+    """Start the sweep CLI, signal it once >=2 points are journaled,
+    and return (returncode, cache_dir, journal_path)."""
+    import subprocess
+
+    cache = tmp_path / "cache"
+    journal = cache / "sweep-journal.jsonl"
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    proc = subprocess.Popen(
+        _sweep_argv(cache),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"sweep finished (rc {proc.returncode}) before the "
+                    f"signal — grid too fast for this host"
+                )
+            try:
+                if len(_journal_points(journal)) >= 2:
+                    break
+            except ValueError:
+                pass  # mid-append read; journal settles next poll
+            time.sleep(0.05)
+        else:
+            pytest.fail("journal never accumulated 2 points")
+        proc.send_signal(signum)
+        rc = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return rc, cache, journal
+
+
+@pytest.mark.slow
+class TestInterruptSemantics:
+    def _reference_artifact(self, tmp_path):
+        ref_p = tmp_path / "ref.json"
+        rc = cli.main(
+            _sweep_argv(tmp_path / "ref-cache", "--metrics-out", str(ref_p))[3:]
+        )
+        assert rc == 0
+        return json.loads(ref_p.read_text())
+
+    def test_sigint_drains_to_exit_3_then_resume_matches(self, tmp_path):
+        rc, cache, journal = _interrupt_mid_sweep(tmp_path, signal.SIGINT)
+        assert rc == 3  # graceful drain, not the default 130
+        points = _journal_points(journal)  # also: every line valid JSON
+        assert 2 <= len(points) < 8
+        assert all(p["status"] == "ok" for p in points)
+
+        res_p = tmp_path / "resumed.json"
+        rc = cli.main(
+            _sweep_argv(cache, "--resume", "--metrics-out", str(res_p))[3:]
+        )
+        assert rc == 0
+        resumed = json.loads(res_p.read_text())
+        summary = resumed["provenance"]["summary"]
+        # Only the points the drained run never resolved were executed.
+        assert summary["cache_hits"] >= len(points)
+        assert summary["executed"] <= 8 - len(points)
+        ref = self._reference_artifact(tmp_path)
+        assert canonical_metrics_bytes(resumed) == canonical_metrics_bytes(ref)
+
+    def test_parent_sigkill_resumes_from_journal(self, tmp_path):
+        rc, cache, journal = _interrupt_mid_sweep(tmp_path, signal.SIGKILL)
+        assert rc == -signal.SIGKILL
+        points = _journal_points(journal)  # fsync'd prefix survived
+        assert len(points) >= 2
+        journaled = {p["index"] for p in points}
+
+        res_p = tmp_path / "resumed.json"
+        rc = cli.main(
+            _sweep_argv(cache, "--resume", "--metrics-out", str(res_p))[3:]
+        )
+        assert rc == 0
+        resumed = json.loads(res_p.read_text())
+        # Journaled points replayed (source "journal"), the rest
+        # executed — never re-running what the dead parent completed.
+        by_index = {
+            p["index"]: p for p in resumed["provenance"]["points"]
+        }
+        for index in journaled:
+            assert by_index[index]["cache_hit"]
+        summary = resumed["provenance"]["summary"]
+        assert summary["executed"] == 8 - summary["cache_hits"]
+        ref = self._reference_artifact(tmp_path)
+        assert canonical_metrics_bytes(resumed) == canonical_metrics_bytes(ref)

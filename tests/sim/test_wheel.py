@@ -56,6 +56,40 @@ class TestWheelStructure:
         w.push(ev(19.0, 1))
         assert drain(w) == [(19.0, 1), (20.0, 0)]
 
+    def test_cascade_beats_later_ring0_bucket(self):
+        """Regression: a pending level-1 bucket whose span the cursor
+        has entered must cascade before any *later* level-0 bucket
+        materializes. The old advance only cascaded when ring 0 was
+        completely empty, so the sequence below fired t=12 before t=9
+        (observed as 'time went backwards' in long flush-timer runs)."""
+        w = TimerWheel(granularity=2.0, slots=4, levels=3)
+        w.push(ev(0.0, 0))
+        w.push(ev(9.0, 1))  # level-1 bucket spanning [8, 16)
+        assert w.peek()[EV_SEQ] == 0
+        w.pop()
+        w.push(ev(6.0, 2))  # ring 0, ahead of the cursor
+        assert w.peek()[EV_TIME] == 6.0  # cursor advances to [6, 8)
+        w.pop()
+        # Ring 0 can now hold times in [8, 14) — *inside and beyond*
+        # the still-pending level-1 bucket.
+        w.push(ev(12.0, 3))
+        assert drain(w) == [(9.0, 1), (12.0, 3)]
+
+    def test_equal_start_prefers_higher_level(self):
+        """When a level-1 bucket and a level-0 bucket start together,
+        the level-1 bucket must cascade first: its span encloses the
+        level-0 slot, so it can hold strictly earlier events."""
+        w = TimerWheel(granularity=2.0, slots=4, levels=3)
+        w.push(ev(0.0, 0))
+        w.push(ev(8.0, 1))  # level-1 bucket [8, 16)
+        assert w.peek()[EV_SEQ] == 0
+        w.pop()
+        w.push(ev(6.0, 2))
+        assert w.peek()[EV_TIME] == 6.0
+        w.pop()
+        w.push(ev(8.0, 3))  # ring-0 bucket also starting at 8
+        assert drain(w) == [(8.0, 1), (8.0, 3)]  # seq order preserved
+
     def test_peek_empty_returns_none(self):
         w = TimerWheel()
         assert w.peek() is None
