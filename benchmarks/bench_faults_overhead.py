@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from repro.faults import FaultPlan
+from repro.faults import FOREVER, FaultPlan, FaultWindow
 from repro.machine import MachineConfig
 from repro.runtime.reliability import ReliabilityConfig
 from repro.runtime.system import RuntimeSystem
@@ -79,6 +79,47 @@ def test_disabled_faults_are_free():
     assert ratio < MAX_RATIO, (
         f"disabled fault injection costs {ratio:.3f}x baseline "
         f"(limit {MAX_RATIO}x)"
+    )
+
+
+def test_unfired_crash_fabric_stays_cheap():
+    """An armed-but-idle crash fabric must cost like a wire-only plan.
+
+    Arming the fabric (any ``proc_crash`` window) adds a dead-process
+    membership check per insert and per message hop.  Until a crash
+    actually fires the dead set is empty, so the armed run does the
+    same deterministic work as the wire-only run plus those misses —
+    this gate keeps that tax inside the overhead budget.  The crash
+    here is parked far past the traffic (it fires as the final event),
+    so both runs deliver everything.
+    """
+    wire = FaultPlan(reorder=0.05, reorder_max_ns=200.0)
+    armed = wire.with_window(
+        FaultWindow(1e15, FOREVER, "proc_crash", target=1)
+    )
+
+    def timed(plan):
+        start = time.perf_counter()
+        rt, delivered = _run(plan, None)
+        elapsed = time.perf_counter() - start
+        expected = MACHINE.total_workers * (ROUNDS + 1) * ITEMS_PER_ROUND
+        assert delivered == expected
+        return rt, elapsed
+
+    timed(wire)  # warm-up
+    baseline, crashable = [], []
+    for _ in range(REPEATS):
+        rt_w, t_w = timed(wire)
+        assert rt_w.dead_procs is None  # wire-only: fabric unbuilt
+        baseline.append(t_w)
+        rt_a, t_a = timed(armed)
+        assert rt_a.dead_procs == {1}  # parked crash fired post-traffic
+        assert rt_a.faults.stats.items_lost_to_crash == 0
+        crashable.append(t_a)
+    ratio = min(crashable) / min(baseline)
+    assert ratio < MAX_RATIO, (
+        f"armed-but-idle crash fabric costs {ratio:.3f}x the wire-only "
+        f"plan (limit {MAX_RATIO}x)"
     )
 
 

@@ -12,7 +12,13 @@ from repro.faults.context import (
     active_fault_session,
 )
 from repro.faults.injector import FaultInjector, FaultStats
-from repro.faults.plan import FOREVER, KINDS, FaultPlan, FaultWindow
+from repro.faults.plan import (
+    FOREVER,
+    KINDS,
+    PROCESS_KINDS,
+    FaultPlan,
+    FaultWindow,
+)
 
 __all__ = [
     "FaultPlan",
@@ -23,5 +29,6 @@ __all__ = [
     "active_fault_plan",
     "active_fault_session",
     "KINDS",
+    "PROCESS_KINDS",
     "FOREVER",
 ]

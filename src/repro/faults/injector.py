@@ -44,6 +44,13 @@ class FaultStats:
     messages_lost: int = 0
     items_lost: int = 0
     ct_stall_ns: float = 0.0
+    #: Endpoint-failure fabric: processes killed / revived, and the
+    #: traffic destroyed *because* an endpoint was dead (disjoint from
+    #: ``messages_lost`` — a crash loss is never also a wire loss).
+    proc_crashes: int = 0
+    proc_restarts: int = 0
+    messages_lost_to_crash: int = 0
+    items_lost_to_crash: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -56,10 +63,25 @@ class FaultStats:
             "ct_stall_ns": self.ct_stall_ns,
         }
 
+    def crash_to_dict(self) -> dict:
+        """Crash-fabric counters, merged into snapshots only when the
+        fabric is armed so crash-free artifacts stay byte-identical."""
+        return {
+            "proc_crashes": self.proc_crashes,
+            "proc_restarts": self.proc_restarts,
+            "messages_lost_to_crash": self.messages_lost_to_crash,
+            "items_lost_to_crash": self.items_lost_to_crash,
+        }
+
 
 def _payload_items(msg: NetMessage) -> int:
     """Application items carried by a message (0 for control traffic)."""
-    return int(getattr(msg.payload, "count", 0) or 0)
+    count = getattr(msg.payload, "count", 0)
+    # Control payloads can be plain tuples, whose ``count`` attribute is
+    # the bound method — they carry no application items.
+    if callable(count):
+        return 0
+    return int(count or 0)
 
 
 @dataclass
@@ -79,7 +101,13 @@ class FaultInjector:
     stats: FaultStats = field(default_factory=FaultStats)
     #: Called as ``fn(msg, items)`` when an *unprotected* copy is
     #: destroyed; apps hook this to keep quiescence loss-aware.
-    on_loss: Optional[Callable[[NetMessage, int], None]] = None
+    #: ``msg`` is ``None`` for crash losses not tied to one message
+    #: (drained worker queues, buffered aggregation items).
+    on_loss: Optional[Callable[[Optional[NetMessage], int], None]] = None
+    #: Dedicated RNG stream (``"proc-faults"``) for seeded crash
+    #: placement. Kept separate from the wire-dice stream so enabling
+    #: crashes never reshuffles which messages get dropped/duplicated.
+    crash_rng: Any = None
 
     def _wire_prob(self, kind: str, dst_node: int, now: float) -> float:
         """Effective probability of ``kind`` for a message to ``dst_node``."""
@@ -144,6 +172,75 @@ class FaultInjector:
         self.stats.items_lost += items
         if self.on_loss is not None:
             self.on_loss(msg, items)
+
+    def note_crash_destroyed(self, msg: NetMessage) -> None:
+        """A copy hit a dead endpoint *before* being accepted.
+
+        Mirrors :meth:`note_destroyed`: only unprotected copies count —
+        a protected (``seq`` stamped) copy is still pending at its
+        sender, and the reliability teardown accounts its loss exactly
+        once when the peer's death is confirmed.
+        """
+        if msg.seq is not None:
+            return
+        items = _payload_items(msg)
+        self.stats.messages_lost_to_crash += 1
+        self.stats.items_lost_to_crash += items
+        if self.on_loss is not None:
+            self.on_loss(msg, items)
+
+    def note_crash_items(self, items: int, messages: int = 0) -> None:
+        """Raw crash-loss accounting for items not tied to a live copy.
+
+        Used where the lost work is a *count*, not a message in flight:
+        a dead worker's queued tasks, aggregation items buffered at the
+        crashed process, parked flow entries, and the reliability
+        layer's pending-channel teardown (which has already applied the
+        receiver-ground-truth split).
+        """
+        if items <= 0 and messages <= 0:
+            return
+        self.stats.messages_lost_to_crash += messages
+        self.stats.items_lost_to_crash += items
+        if self.on_loss is not None and items > 0:
+            self.on_loss(None, items)
+
+    def crash_schedule(self, total_processes: int) -> List[Tuple[float, str, int]]:
+        """Resolve the plan into concrete ``(time, kind, pid)`` events.
+
+        Scripted ``proc_crash`` / ``proc_restart`` windows map directly;
+        seeded victims come from the dedicated crash stream: distinct
+        processes (never pid 0 — it hosts the quiescence coordinator),
+        crash times uniform in ``[crash_t_min_ns, crash_t_max_ns)``,
+        optional restarts ``crash_restart_after_ns`` later. The result
+        is sorted by time so the runtime can schedule it verbatim.
+        """
+        events: List[Tuple[float, str, int]] = []
+        for w in self.plan.windows:
+            if w.kind == "proc_crash":
+                events.append((w.t_start, "crash", int(w.target)))
+            elif w.kind == "proc_restart":
+                events.append((w.t_start, "restart", int(w.target)))
+        n = self.plan.crash_procs
+        if n > 0:
+            candidates = list(range(1, total_processes))
+            if n > len(candidates):
+                n = len(candidates)
+            rng = self.crash_rng if self.crash_rng is not None else self.rng
+            victims = rng.choice(
+                len(candidates), size=n, replace=False
+            )
+            for v in sorted(int(i) for i in victims):
+                pid = candidates[v]
+                span = self.plan.crash_t_max_ns - self.plan.crash_t_min_ns
+                t = self.plan.crash_t_min_ns + float(rng.random()) * span
+                events.append((t, "crash", pid))
+                if self.plan.crash_restart_after_ns is not None:
+                    events.append(
+                        (t + self.plan.crash_restart_after_ns, "restart", pid)
+                    )
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        return events
 
     def nic_occupancy_multiplier(self, node_id: int, now: float) -> float:
         """Occupancy multiplier for a NIC booking (``nic_degrade``)."""

@@ -28,7 +28,12 @@ WIRE_KINDS = ("drop", "dup", "corrupt", "reorder")
 #: Component-level scripted degradations.
 COMPONENT_KINDS = ("nic_degrade", "ct_stall")
 
-KINDS = WIRE_KINDS + COMPONENT_KINDS
+#: Endpoint-level scripted events: a process dies (or comes back) at
+#: ``t_start``. Instantaneous — ``t_end`` is ignored by convention
+#: (pass :data:`FOREVER`); ``target`` is the process id and mandatory.
+PROCESS_KINDS = ("proc_crash", "proc_restart")
+
+KINDS = WIRE_KINDS + COMPONENT_KINDS + PROCESS_KINDS
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,10 @@ class FaultWindow:
                 f"nic_degrade magnitude is an occupancy multiplier >= 1, "
                 f"got {self.magnitude}"
             )
+        if self.kind in PROCESS_KINDS and self.target is None:
+            raise FaultInjectionError(
+                f"{self.kind} window needs an explicit target process id"
+            )
 
     def active(self, now: float) -> bool:
         """Whether the episode covers simulated time ``now``."""
@@ -111,6 +120,17 @@ class FaultPlan:
         stays finite.
     windows:
         Scripted :class:`FaultWindow` episodes layered on top.
+    crash_procs:
+        Number of *seeded* process crashes: that many distinct victim
+        processes are drawn from the runtime's dedicated
+        ``"proc-faults"`` RNG stream (never process 0, which hosts the
+        quiescence coordinator), each with a crash time uniform in
+        ``[crash_t_min_ns, crash_t_max_ns)``. Scripted ``proc_crash``
+        windows layer on top for exact placement.
+    crash_restart_after_ns:
+        When set, every seeded victim restarts this long after its
+        crash; ``None`` (the default) keeps victims dead for the rest
+        of the run.
     """
 
     drop: float = 0.0
@@ -119,6 +139,10 @@ class FaultPlan:
     reorder: float = 0.0
     reorder_max_ns: float = 5_000.0
     windows: Tuple[FaultWindow, ...] = field(default_factory=tuple)
+    crash_procs: int = 0
+    crash_t_min_ns: float = 0.0
+    crash_t_max_ns: float = 1_000_000.0
+    crash_restart_after_ns: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in _PROB_FIELDS:
@@ -131,6 +155,23 @@ class FaultPlan:
             raise FaultInjectionError(
                 f"reorder_max_ns must be positive, got {self.reorder_max_ns}"
             )
+        if self.crash_procs < 0:
+            raise FaultInjectionError(
+                f"crash_procs must be >= 0, got {self.crash_procs}"
+            )
+        if not 0.0 <= self.crash_t_min_ns < self.crash_t_max_ns:
+            raise FaultInjectionError(
+                f"need 0 <= crash_t_min_ns < crash_t_max_ns, got "
+                f"[{self.crash_t_min_ns}, {self.crash_t_max_ns})"
+            )
+        if (
+            self.crash_restart_after_ns is not None
+            and self.crash_restart_after_ns <= 0
+        ):
+            raise FaultInjectionError(
+                f"crash_restart_after_ns must be positive, got "
+                f"{self.crash_restart_after_ns}"
+            )
         object.__setattr__(self, "windows", tuple(self.windows))
 
     def is_noop(self) -> bool:
@@ -138,6 +179,17 @@ class FaultPlan:
         return (
             all(getattr(self, name) == 0.0 for name in _PROB_FIELDS)
             and not self.windows
+            and self.crash_procs == 0
+        )
+
+    def has_crashes(self) -> bool:
+        """Whether the plan kills (or restarts) any process — seeded or
+        scripted. ``False`` keeps the whole crash fabric unbuilt, so a
+        wire-faults-only run schedules zero extra events and consumes
+        zero extra RNG draws (byte-identity with pre-crash-fabric runs).
+        """
+        return self.crash_procs > 0 or any(
+            w.kind in PROCESS_KINDS for w in self.windows
         )
 
     @classmethod
@@ -151,22 +203,30 @@ class FaultPlan:
         >>> FaultPlan.parse("drop=0.05,dup=0.01").drop
         0.05
         """
+        aliases = {
+            "reorder_max": "reorder_max_ns",
+            "crash_t_min": "crash_t_min_ns",
+            "crash_t_max": "crash_t_max_ns",
+            "crash_restart_after": "crash_restart_after_ns",
+        }
+        known = _PROB_FIELDS + (
+            "reorder_max_ns", "crash_procs", "crash_t_min_ns",
+            "crash_t_max_ns", "crash_restart_after_ns",
+        )
         kwargs = {}
         for part in spec.split(","):
             part = part.strip()
             if not part:
                 continue
             key, sep, value = part.partition("=")
-            key = key.strip()
-            if key == "reorder_max":
-                key = "reorder_max_ns"
-            if not sep or key not in _PROB_FIELDS + ("reorder_max_ns",):
+            key = aliases.get(key.strip(), key.strip())
+            if not sep or key not in known:
                 raise FaultInjectionError(
                     f"bad --faults entry {part!r}; use key=value with keys "
-                    f"{', '.join(_PROB_FIELDS + ('reorder_max',))}"
+                    f"{', '.join(_PROB_FIELDS + tuple(aliases))}"
                 )
             try:
-                kwargs[key] = float(value)
+                kwargs[key] = int(value) if key == "crash_procs" else float(value)
             except ValueError:
                 raise FaultInjectionError(
                     f"bad --faults value in {part!r}: not a number"
@@ -182,6 +242,10 @@ class FaultPlan:
             reorder=self.reorder,
             reorder_max_ns=self.reorder_max_ns,
             windows=self.windows + tuple(windows),
+            crash_procs=self.crash_procs,
+            crash_t_min_ns=self.crash_t_min_ns,
+            crash_t_max_ns=self.crash_t_max_ns,
+            crash_restart_after_ns=self.crash_restart_after_ns,
         )
 
 

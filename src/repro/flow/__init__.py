@@ -14,7 +14,7 @@ from repro.flow.context import (
     active_flow_config,
     active_flow_session,
 )
-from repro.flow.controller import FlowController, FlowStats
+from repro.flow.controller import FlowController, FlowStats, conservation_ledger
 from repro.flow.credit import CreditGate
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "FlowController",
     "FlowStats",
     "CreditGate",
+    "conservation_ledger",
     "FlowSession",
     "active_flow_config",
     "active_flow_session",

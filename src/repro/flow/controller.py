@@ -43,10 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.commthread import CommThread
     from repro.runtime.system import RuntimeSystem
 
-#: Control-plane message kinds that bypass credit gates (value matches
-#: ``repro.runtime.reliability.ACK_KIND``; kept as a literal to avoid an
-#: import cycle through the runtime package).
-_CONTROL_KINDS = frozenset({"rel.ack"})
+#: Control-plane message kinds that bypass credit gates (values match
+#: ``repro.runtime.reliability.CONTROL_KINDS``; kept as literals to
+#: avoid an import cycle through the runtime package). Probes must not
+#: park: a liveness question stuck behind backpressure would convert
+#: congestion into a false death verdict.
+_CONTROL_KINDS = frozenset({"rel.ack", "rel.probe"})
 
 
 @dataclass
@@ -84,6 +86,62 @@ class FlowStats:
 def _payload_items(msg: "NetMessage") -> int:
     """Item count of an aggregated payload (0 for control messages)."""
     return int(getattr(msg.payload, "count", 0) or 0)
+
+
+def conservation_ledger(rt: "RuntimeSystem") -> dict:
+    """Item-conservation ledger for any runtime, flow or not.
+
+    ``produced == delivered + shed + lost + abandoned + buffered +
+    parked`` whenever the accounting is closable — plus a
+    ``lost_to_crash`` term reported only when the crash fabric is armed,
+    so crash-free artifacts are unchanged. Without a flow controller the
+    shed/parked terms are zero. ``balanced`` is ``None`` when
+    duplication faults run without the reliability layer (duplicates
+    deliver twice, so no conservation identity exists), a bool
+    otherwise.
+    """
+    produced = sum(s.stats.items_inserted for s in rt.schemes)
+    delivered = sum(s.stats.items_delivered for s in rt.schemes)
+    buffered = sum(s.pending_items() for s in rt.schemes)
+    parked = rt.flow.parked_items() if rt.flow is not None else 0
+    shed = rt.flow.stats.items_shed if rt.flow is not None else 0
+    lost = rt.faults.stats.items_lost if rt.faults is not None else 0
+    lost_to_crash = (
+        rt.faults.stats.items_lost_to_crash
+        if rt.dead_procs is not None and rt.faults is not None
+        else 0
+    )
+    abandoned = (
+        rt.reliable.stats.items_abandoned if rt.reliable is not None else 0
+    )
+    accounted = (
+        delivered + shed + lost + lost_to_crash + abandoned + buffered + parked
+    )
+    balanced: Optional[bool]
+    if rt.faults is not None and rt.reliable is None and _dup_possible(rt):
+        balanced = None
+    else:
+        balanced = produced == accounted
+    out = {
+        "produced": produced,
+        "delivered": delivered,
+        "shed": shed,
+        "lost": lost,
+        "abandoned": abandoned,
+        "buffered": buffered,
+        "parked": parked,
+        "balanced": balanced,
+    }
+    if rt.dead_procs is not None:
+        out["lost_to_crash"] = lost_to_crash
+    return out
+
+
+def _dup_possible(rt: "RuntimeSystem") -> bool:
+    plan = rt.faults.plan
+    if plan.dup > 0:
+        return True
+    return any(w.kind == "dup" for w in plan.windows)
 
 
 class FlowController:
@@ -336,6 +394,40 @@ class FlowController:
             )
 
     # ------------------------------------------------------------------
+    # Crash fabric
+    # ------------------------------------------------------------------
+    def on_process_crashed(self, pid: int) -> None:
+        """Release everything held for or by the dead process ``pid``.
+
+        Parked messages to or from it are destroyed and accounted (a
+        parked FIFO waiting on a dead destination would otherwise hold
+        its gate slot forever — the credit-leak deadlock). Credits
+        already acquired need no special handling: their release timers
+        fire at the server's booked horizon regardless, so in-flight
+        credit always returns.
+        """
+        faults = self.rt.faults
+        machine = self.rt.machine
+
+        def doomed(entry: ParkedMessage) -> bool:
+            if entry.dst_process == pid:
+                return True
+            return machine.process_of_worker(entry.msg.src_worker) == pid
+
+        for gate in self.gates():
+            if not gate.parked:
+                continue
+            for entry in gate.purge(doomed):
+                if faults is not None:
+                    faults.note_crash_destroyed(entry.msg)
+            if not gate.blocked:
+                self._resume_flushes(gate)
+        # Flush deferrals registered by the dead process's own workers
+        # resolve harmlessly: the reposted flush task lands on a dead
+        # worker and is dropped (its buffers were drained at crash).
+        self._maybe_clear_overload()
+
+    # ------------------------------------------------------------------
     # Overload detector
     # ------------------------------------------------------------------
     def _check_overload(self, gate: CreditGate, pressure_ns: float) -> None:
@@ -391,43 +483,14 @@ class FlowController:
         """Item-conservation ledger across the whole runtime.
 
         ``produced == delivered + shed + lost + abandoned + buffered +
-        parked`` whenever the accounting is closable. ``balanced`` is
+        parked`` whenever the accounting is closable — plus a
+        ``lost_to_crash`` term (reported only when the crash fabric is
+        armed, so crash-free artifacts are unchanged). ``balanced`` is
         ``None`` when duplication faults run without the reliability
         layer (duplicates deliver twice, so no conservation identity
         exists), a bool otherwise.
         """
-        rt = self.rt
-        produced = sum(s.stats.items_inserted for s in rt.schemes)
-        delivered = sum(s.stats.items_delivered for s in rt.schemes)
-        buffered = sum(s.pending_items() for s in rt.schemes)
-        parked = self.parked_items()
-        shed = self.stats.items_shed
-        lost = rt.faults.stats.items_lost if rt.faults is not None else 0
-        abandoned = (
-            rt.reliable.stats.items_abandoned if rt.reliable is not None else 0
-        )
-        accounted = delivered + shed + lost + abandoned + buffered + parked
-        balanced: Optional[bool]
-        if rt.faults is not None and rt.reliable is None and self._dup_possible():
-            balanced = None
-        else:
-            balanced = produced == accounted
-        return {
-            "produced": produced,
-            "delivered": delivered,
-            "shed": shed,
-            "lost": lost,
-            "abandoned": abandoned,
-            "buffered": buffered,
-            "parked": parked,
-            "balanced": balanced,
-        }
-
-    def _dup_possible(self) -> bool:
-        plan = self.rt.faults.plan
-        if plan.dup > 0:
-            return True
-        return any(w.kind == "dup" for w in plan.windows)
+        return conservation_ledger(self.rt)
 
     def to_dict(self) -> dict:
         """Snapshot block: stats, per-gate occupancy, conservation."""

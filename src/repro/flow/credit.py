@@ -109,6 +109,22 @@ class CreditGate:
         """Currently parked messages addressed to ``dst_process``."""
         return self._parked_by_dest.get(dst_process, 0)
 
+    def purge(self, predicate: Callable[[ParkedMessage], bool]) -> list:
+        """Remove (and return) parked entries matching ``predicate``.
+
+        Used by the crash fabric to drop messages held for — or sourced
+        from — a dead process; relative order of survivors is kept.
+        """
+        removed = [e for e in self.parked if predicate(e)]
+        if removed:
+            kept = [e for e in self.parked if not predicate(e)]
+            self.parked = deque(kept)
+            self._parked_by_dest = {}
+            for e in kept:
+                dest = e.dst_process
+                self._parked_by_dest[dest] = self._parked_by_dest.get(dest, 0) + 1
+        return removed
+
     @property
     def blocked(self) -> bool:
         """Whether new arrivals would park (credits exhausted or FIFO

@@ -27,8 +27,32 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, TextIO
 
 #: Schema tag stamped into every ``--status-json`` document.
-#: /2 added the supervision counters (retries, poisoned, restarts).
+#: /2 added the supervision counters (retries, poisoned, restarts) and
+#: later grew an *optional* ``channel_trips`` key, present only when at
+#: least one completed point reported reliability channels tripped to
+#: direct traffic — trip-free sweeps keep the exact /2 shape.
 STATUS_SCHEMA = "repro.fleet-status/2"
+
+
+def channel_trips_of(records: Any) -> int:
+    """Total reliability channel trips across a point's run snapshots.
+
+    ``records`` is the per-point list of run-snapshot dicts the pool
+    carries in :class:`~repro.harness.pool.PointOutcome.records`. A
+    *trip* is a channel the reliability layer gave up on: degraded to
+    direct traffic, or torn down after a peer-death confirmation (the
+    latter key only exists when the crash fabric was armed).
+    """
+    trips = 0
+    for rec in records or ():
+        if not isinstance(rec, Mapping):
+            continue
+        rel = rec.get("reliability")
+        if not isinstance(rel, Mapping):
+            continue
+        trips += int(rel.get("channels_degraded", 0) or 0)
+        trips += int(rel.get("channels_torn_down", 0) or 0)
+    return trips
 
 
 class FleetStatus:
@@ -72,6 +96,9 @@ class FleetStatus:
         self.poisoned = 0
         #: Worker processes respawned after a crash, kill, or hang.
         self.restarts = 0
+        #: Reliability channels that tripped to direct traffic (or were
+        #: torn down by the crash fabric) across all completed points.
+        self.channel_trips = 0
         self.nworkers = nworkers
         self.interval_s = interval_s
         self.stream = stream
@@ -98,10 +125,16 @@ class FleetStatus:
         self.maybe_emit()
 
     def on_point_done(
-        self, worker_id: int, wall_s: float, *, cache_hit: bool = False
+        self,
+        worker_id: int,
+        wall_s: float,
+        *,
+        cache_hit: bool = False,
+        channel_trips: int = 0,
     ) -> None:
         """A point finished (executed or replayed from cache)."""
         self.done += 1
+        self.channel_trips += channel_trips
         if cache_hit:
             self.cache_hits += 1
         else:
@@ -161,7 +194,7 @@ class FleetStatus:
         """The ``--status-json`` document."""
         elapsed = time.perf_counter() - self.t0
         eta = self.eta_s()
-        return {
+        payload = {
             "schema": STATUS_SCHEMA,
             "points_total": self.total,
             "points_done": self.done,
@@ -184,6 +217,9 @@ class FleetStatus:
                 for wid, st in sorted(self.workers.items())
             },
         }
+        if self.channel_trips:
+            payload["channel_trips"] = self.channel_trips
+        return payload
 
     def render_line(self) -> str:
         """One-line human status, e.g.
@@ -201,6 +237,8 @@ class FleetStatus:
                 f"retries {self.retries} | poisoned {self.poisoned} "
                 f"| restarts {self.restarts}"
             )
+        if self.channel_trips:
+            parts.append(f"trips {self.channel_trips}")
         eta = self.eta_s()
         if eta is not None:
             parts.append(f"eta {eta:.0f}s")

@@ -42,6 +42,14 @@ class UtilizationReport:
     commthread_max_backlog_ns: float = 0.0
     #: Largest PE-side receive-queue occupancy any worker reached.
     worker_queued_bytes_hwm: int = 0
+    #: Channels the reliability layer gave up on: degraded to direct
+    #: traffic plus torn down after a peer-death confirmation. Reported
+    #: (in ``to_dict``/``bottleneck_detail``) only when nonzero so
+    #: trip-free artifacts keep their exact pre-existing shape.
+    channels_tripped: int = 0
+    #: Items that travelled as unaggregated direct sends because their
+    #: destination pair had degraded.
+    degraded_direct_items: int = 0
 
     def bottleneck(self) -> str:
         """Name the most-utilized component class."""
@@ -57,15 +65,24 @@ class UtilizationReport:
         """The verdict plus the high-water backlog behind it."""
         verdict = self.bottleneck()
         if verdict == "commthreads" and self.commthread_max_backlog_ns > 0:
-            return (
+            verdict = (
                 f"{verdict} (max backlog "
                 f"{self.commthread_max_backlog_ns:,.0f} ns)"
+            )
+        if self.channels_tripped:
+            verdict += (
+                f" [{self.channels_tripped} channels tripped to direct, "
+                f"{self.degraded_direct_items} items sent unaggregated]"
             )
         return verdict
 
     def to_dict(self) -> dict:
         """All fields as a plain dict (JSON-serializable)."""
-        return asdict(self)
+        out = asdict(self)
+        if not self.channels_tripped:
+            del out["channels_tripped"]
+            del out["degraded_direct_items"]
+        return out
 
     def to_table(self) -> str:
         rows = [
@@ -144,6 +161,15 @@ def utilization(rt: "RuntimeSystem") -> UtilizationReport:
         commthread_max_backlog_ns=ct_backlog,
         worker_queued_bytes_hwm=max(
             (w.stats.queued_bytes_hwm for w in rt.workers), default=0
+        ),
+        channels_tripped=(
+            rt.reliable.stats.channels_degraded
+            + rt.reliable.stats.channels_torn_down
+            if rt.reliable is not None
+            else 0
+        ),
+        degraded_direct_items=sum(
+            s.stats.direct_fallback_sends for s in rt.schemes
         ),
     )
 

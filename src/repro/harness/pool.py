@@ -72,6 +72,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import HarnessError
 from repro.harness.cache import ResultCache, point_key
+from repro.harness.fleet import channel_trips_of
 
 #: Scramble bases for the ambient-RNG guard (arbitrary, fixed).
 _GUARD_SEED = 0x5EED_CA5E
@@ -786,7 +787,9 @@ class _Supervisor:
             retries=self.attempts.get(slot, 0),
         )
         if self.fleet is not None:
-            self.fleet.on_point_done(wid, wall)
+            self.fleet.on_point_done(
+                wid, wall, channel_trips=channel_trips_of(records)
+            )
         self.on_done(slot, outcome)
 
     def _fail_attempt(self, slot: int, wid: int, err: str) -> None:
@@ -1124,7 +1127,9 @@ def _run_serial(
                 break
             else:
                 if fleet is not None:
-                    fleet.on_point_done(0, wall)
+                    fleet.on_point_done(
+                        0, wall, channel_trips=channel_trips_of(records)
+                    )
                 finish(
                     spec.index,
                     PointOutcome(

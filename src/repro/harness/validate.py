@@ -142,6 +142,24 @@ def _check_extB(d: FigureData):
     )
 
 
+def _check_extC(d: FigureData):
+    # Column 0 is k=0: no crash fabric, everything must be delivered.
+    # Columns with k>0 lose something to the crashes but never
+    # everything — failover routing and loss accounting keep the run
+    # finishing with a partial (not empty, not silently complete)
+    # delivery; the generator itself raises on an unbalanced ledger.
+    ok = True
+    worst = 1.0
+    for s in d.series:
+        if s.y[0] != 1.0:
+            ok = False
+        for frac in s.y[1:]:
+            worst = min(worst, frac)
+            if not 0.0 < frac < 1.0:
+                ok = False
+    return ok, f"k=0 fraction 1.0 everywhere, worst crashed fraction {worst:.2f}"
+
+
 CHECKERS: Dict[str, Checker] = {
     "fig1": _check_fig1,
     "fig3": _check_fig3,
@@ -160,6 +178,7 @@ CHECKERS: Dict[str, Checker] = {
     "tabB": _check_tabB,
     "extA": _check_extA,
     "extB": _check_extB,
+    "extC": _check_extC,
 }
 
 

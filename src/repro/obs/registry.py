@@ -140,6 +140,28 @@ _FAULT_COUNTERS = (
     ("items_lost", "items"),
 )
 
+#: Registered only when the crash fabric is armed (``rt.dead_procs`` not
+#: None), so crash-free metric dumps keep their exact pre-fabric names.
+_CRASH_FAULT_COUNTERS = (
+    ("proc_crashes", "processes"),
+    ("proc_restarts", "processes"),
+    ("messages_lost_to_crash", "messages"),
+    ("items_lost_to_crash", "items"),
+)
+
+_CRASH_RELIABILITY_COUNTERS = (
+    ("peers_suspected", "processes"),
+    ("suspicions_cleared", "processes"),
+    ("probes_sent", "messages"),
+    ("peers_confirmed_dead", "processes"),
+    ("channels_torn_down", "channels"),
+)
+
+_CRASH_TRAM_COUNTERS = (
+    ("dead_peer_drops", "items"),
+    ("failover_reroutes", "decisions"),
+)
+
 _RELIABILITY_COUNTERS = (
     ("protected_messages", "messages"),
     ("retransmits", "messages"),
@@ -284,6 +306,8 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
               lambda: util().bottleneck() if util() is not None else None,
               help="most-utilized component class")
 
+    crash_armed = getattr(rt, "dead_procs", None) is not None
+
     faults = getattr(rt, "faults", None)
     if faults is not None:
         fstats = faults.stats
@@ -292,6 +316,13 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
                         lambda s=fstats, f=fname: getattr(s, f), unit=unit)
         reg.gauge("faults.ct_stall_ns", lambda s=fstats: s.ct_stall_ns,
                   unit="ns", help="comm-thread time frozen by stall windows")
+        if crash_armed:
+            for fname, unit in _CRASH_FAULT_COUNTERS:
+                reg.counter(f"faults.{fname}",
+                            lambda s=fstats, f=fname: getattr(s, f), unit=unit)
+            reg.gauge("faults.dead_processes",
+                      lambda r=rt: len(r.dead_procs), unit="processes",
+                      help="processes dead at snapshot time")
 
     reliable = getattr(rt, "reliable", None)
     if reliable is not None:
@@ -302,6 +333,10 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
         reg.gauge("reliability.pending_messages",
                   lambda r=reliable: r.pending_count(), unit="messages",
                   help="sent but unacked messages at snapshot time")
+        if crash_armed:
+            for fname, unit in _CRASH_RELIABILITY_COUNTERS:
+                reg.counter(f"reliability.{fname}",
+                            lambda s=rstats, f=fname: getattr(s, f), unit=unit)
 
     flow = getattr(rt, "flow", None)
     if flow is not None:
@@ -327,6 +362,10 @@ def registry_from_runtime(rt: Any) -> MetricsRegistry:
         for fname, unit in _TRAM_COUNTERS:
             reg.counter(f"{prefix}.{fname}",
                         lambda s=stats, f=fname: getattr(s, f), unit=unit)
+        if crash_armed:
+            for fname, unit in _CRASH_TRAM_COUNTERS:
+                reg.counter(f"{prefix}.{fname}",
+                            lambda s=stats, f=fname: getattr(s, f), unit=unit)
         reg.gauge(f"{prefix}.pending_items",
                   lambda s=scheme: s.pending_items(), unit="items")
         reg.gauge(f"{prefix}.latency_mean_ns",

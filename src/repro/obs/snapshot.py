@@ -27,13 +27,26 @@ def _machine_dict(machine: Any) -> dict:
     }
 
 
-def _scheme_dict(index: int, scheme: Any) -> dict:
+def _crash_armed(rt: Any) -> bool:
+    """Whether the crash fabric is on for this runtime.
+
+    Crash-only keys are merged into snapshot blocks only when armed, so
+    artifacts from crash-free runs stay byte-identical to pre-fabric
+    ones.
+    """
+    return getattr(rt, "dead_procs", None) is not None
+
+
+def _scheme_dict(index: int, scheme: Any, crash_armed: bool = False) -> dict:
     lat = scheme.stats.latency
     stages = getattr(scheme, "stages", None)
+    stats = scheme.stats.summary()
+    if crash_armed:
+        stats.update(scheme.stats.crash_summary())
     entry: Dict[str, Any] = {
         "index": index,
         "name": scheme.name,
-        "stats": scheme.stats.summary(),
+        "stats": stats,
         "latency": {
             "count": lat.count,
             "total_ns": lat.total,
@@ -64,7 +77,10 @@ def _faults_dict(rt: Any) -> Optional[dict]:
     faults = getattr(rt, "faults", None)
     if faults is None:
         return None
-    return faults.stats.to_dict()
+    out = faults.stats.to_dict()
+    if _crash_armed(rt):
+        out.update(faults.stats.crash_to_dict())
+    return out
 
 
 def _reliability_dict(rt: Any) -> Optional[dict]:
@@ -73,6 +89,8 @@ def _reliability_dict(rt: Any) -> Optional[dict]:
         return None
     out = reliable.stats.to_dict()
     out["pending_messages"] = reliable.pending_count()
+    if _crash_armed(rt):
+        out.update(reliable.stats.crash_to_dict())
     return out
 
 
@@ -104,7 +122,8 @@ def run_snapshot(rt: Any) -> dict:
             for route in transport.messages
         },
         "schemes": [
-            _scheme_dict(i, s) for i, s in enumerate(getattr(rt, "schemes", ()))
+            _scheme_dict(i, s, _crash_armed(rt))
+            for i, s in enumerate(getattr(rt, "schemes", ()))
         ],
         "utilization": _utilization_dict(rt),
         # Optional blocks are always present, explicitly null when the

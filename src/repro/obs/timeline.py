@@ -233,6 +233,27 @@ class TimelineRecorder:
             )
             probes.append(("faults.messages_lost", lambda t: fa.messages_lost))
             probes.append(("faults.items_lost", lambda t: fa.items_lost))
+            if rt.dead_procs is not None:
+                # Crash fabric armed: record the death/recovery wavefront.
+                # Gated so crash-free timeline blocks keep their exact
+                # pre-fabric series set.
+                probes.append(
+                    ("faults.dead_processes",
+                     lambda t: len(rt.dead_procs))
+                )
+                probes.append(
+                    ("faults.items_lost_to_crash",
+                     lambda t: fa.items_lost_to_crash)
+                )
+                if reliable is not None:
+                    probes.append(
+                        ("reliability.peers_suspected",
+                         lambda t: rstats.peers_suspected)
+                    )
+                    probes.append(
+                        ("reliability.peers_confirmed_dead",
+                         lambda t: rstats.peers_confirmed_dead)
+                    )
 
         for i, scheme in enumerate(rt.schemes):
             prefix = f"tram.{i}.{scheme.name}"

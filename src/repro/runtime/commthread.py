@@ -97,6 +97,12 @@ class CommThread:
         """A worker handed a message to send; forward it after service."""
         if self.on_outbound_done is None:
             raise SimulationError(f"comm thread {self.pid}: no outbound hop installed")
+        dp = self.rt.dead_procs
+        if dp and self.pid in dp:
+            # A flow-control release (or late emission) can still hand
+            # work to a dead process's comm thread; it dies with it.
+            self.rt.faults.note_crash_destroyed(msg)
+            return
         self.stats.out_messages += 1
         done = self._serve(msg, "ct_out")
         self.rt.engine.call_at(done, self.on_outbound_done, (msg,))
@@ -109,6 +115,12 @@ class CommThread:
 
     def _deliver(self, msg: NetMessage) -> None:
         rt = self.rt
+        dp = rt.dead_procs
+        if dp and self.pid in dp:
+            # The message was booked through the server before the crash
+            # landed; it must not be acked from a dead process.
+            rt.faults.note_crash_destroyed(msg)
+            return
         if rt.reliable is not None or rt.faults is not None:
             if not rt.transport.accept_inbound(msg, self.pid):
                 return

@@ -28,7 +28,9 @@ class Process:
         The dedicated comm thread, or ``None`` in non-SMP mode.
     """
 
-    __slots__ = ("rt", "pid", "shared", "commthread", "receiver_policy", "_rr")
+    __slots__ = (
+        "rt", "pid", "shared", "commthread", "receiver_policy", "_rr", "alive"
+    )
 
     def __init__(self, rt: "RuntimeSystem", pid: int) -> None:
         self.rt = rt
@@ -40,6 +42,10 @@ class Process:
         #: receiver chare) — an ablation knob for receive-side hotspots.
         self.receiver_policy = "round_robin"
         self._rr = 0
+        #: Cleared when the crash fabric kills this process (see
+        #: ``RuntimeSystem._crash_process``); authoritative liveness is
+        #: ``rt.dead_procs``, this mirror is for cheap local checks.
+        self.alive = True
 
     @property
     def node_id(self) -> int:

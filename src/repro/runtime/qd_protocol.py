@@ -140,9 +140,23 @@ class QuiescenceDetector:
             return
         self._wave += 1
         self.waves_run += 1
-        self._pending_replies = self.rt.machine.total_processes
+        machine = self.rt.machine
+        self._pending_replies = machine.total_processes
         self._wave_produced = 0
         self._wave_consumed = 0
+        dp = self.rt.dead_procs
+        if dp:
+            # Dead participants cannot reply; fold their last-known
+            # counters into the wave totals coordinator-side (simulation
+            # shortcut — a real protocol would have the membership layer
+            # supply the final reports) so the wave still completes. The
+            # counters froze at crash time: dead workers schedule
+            # nothing.
+            for pid in dp:
+                self._pending_replies -= 1
+                for w in machine.workers_of_process(pid):
+                    self._wave_produced += self._produced[w]
+                    self._wave_consumed += self._consumed[w]
         # The coordinator task runs on worker 0 and polls every process
         # (including its own, uniformly, so costs are symmetric).
         self.rt.post(0, self._send_polls, expedited=True)
@@ -169,7 +183,10 @@ class QuiescenceDetector:
 
     def _send_polls(self, ctx: "ExecContext") -> None:
         costs = self.rt.costs
+        dp = self.rt.dead_procs
         for pid in range(self.rt.machine.total_processes):
+            if dp and pid in dp:
+                continue  # folded into the wave totals at _begin_wave
             msg = NetMessage(
                 kind=self._ns + ".poll",
                 src_worker=ctx.worker.wid,
@@ -231,6 +248,10 @@ class QuiescenceDetector:
         if balanced and self._last_totals == totals:
             # Second consecutive identical, balanced observation.
             self._done = True
+            if self.rt.dead_procs:
+                # The books close, but participants died along the way:
+                # the verdict is degraded, not clean.
+                self.degraded = True
             self.on_quiescence(ctx.now)
             return
         if faulty:

@@ -31,6 +31,18 @@ budget trip raises :class:`~repro.errors.RetryExhaustedError` instead.
 
 Control traffic (acks) is itself unprotected — a lost ack is repaired by
 the data timeout, never by acking acks.
+
+When the crash fabric is armed (``rt.dead_procs`` is not ``None``),
+budget exhaustion is interpreted as *suspicion of peer death* instead of
+an immediate channel trip: the sender sends an expedited ``rel.probe``
+and retries it a few times. A probe reply (or any other traffic from the
+suspect) clears the suspicion and the channel degrades exactly as it
+would without the fabric; silence confirms the death, and every channel
+towards the dead peer is torn down at once — pending messages are split
+against receiver ground truth into unconfirmed deliveries and true
+crash losses, torn-down sequence numbers are stale-marked so late
+copies cannot double-deliver, and the aggregation schemes are told to
+fail over routing around the dead peer (``on_peer_dead``).
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigError, RetryExhaustedError
+from repro.faults.injector import _payload_items
 from repro.network.message import NetMessage, Route
 from repro.obs.spans import MsgSpan
 
@@ -47,6 +60,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Message kind of dedicated ack/nack control messages.
 ACK_KIND = "rel.ack"
+
+#: Message kind of peer-liveness probes (and their replies).
+PROBE_KIND = "rel.probe"
+
+#: Kinds that are never themselves protected: acks repair through the
+#: data timeout, probes through their own retry loop.
+CONTROL_KINDS = frozenset({ACK_KIND, PROBE_KIND})
 
 
 @dataclass(frozen=True)
@@ -78,6 +98,12 @@ class ReliabilityConfig:
         On budget exhaustion, fall back to unprotected direct traffic
         (the default) instead of raising
         :class:`~repro.errors.RetryExhaustedError`.
+    probe_timeout_ns:
+        How long a peer-death suspicion waits for a ``rel.probe`` reply
+        before retrying (crash fabric only).
+    probe_retries:
+        Extra probes sent after the first before silence confirms the
+        peer dead (crash fabric only).
     """
 
     enabled: bool = True
@@ -87,6 +113,8 @@ class ReliabilityConfig:
     ack_delay_ns: float = 3_000.0
     dedup_window: int = 1024
     degrade: bool = True
+    probe_timeout_ns: float = 100_000.0
+    probe_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.retransmit_timeout_ns <= 0:
@@ -104,6 +132,14 @@ class ReliabilityConfig:
             raise ConfigError(f"ack_delay_ns must be >= 0, got {self.ack_delay_ns}")
         if self.dedup_window < 1:
             raise ConfigError(f"dedup_window must be >= 1, got {self.dedup_window}")
+        if self.probe_timeout_ns <= 0:
+            raise ConfigError(
+                f"probe_timeout_ns must be positive, got {self.probe_timeout_ns}"
+            )
+        if self.probe_retries < 0:
+            raise ConfigError(
+                f"probe_retries must be >= 0, got {self.probe_retries}"
+            )
 
 
 @dataclass
@@ -130,6 +166,15 @@ class ReliabilityStats:
     #: Late-arriving copies of messages their channel had already
     #: written off at degrade time, discarded at the receiver.
     stale_discarded: int = 0
+    #: Crash-fabric detection: suspicions opened on budget exhaustion,
+    #: suspicions cleared by probe replies / fresh traffic, probes sent,
+    #: peers whose death was confirmed by silence, and channels torn
+    #: down because their peer died.
+    peers_suspected: int = 0
+    suspicions_cleared: int = 0
+    probes_sent: int = 0
+    peers_confirmed_dead: int = 0
+    channels_torn_down: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -146,6 +191,18 @@ class ReliabilityStats:
             "items_abandoned": self.items_abandoned,
             "messages_unconfirmed": self.messages_unconfirmed,
             "stale_discarded": self.stale_discarded,
+        }
+
+    def crash_to_dict(self) -> dict:
+        """Suspicion-protocol counters, merged into snapshots only when
+        the crash fabric is armed (crash-free artifacts stay
+        byte-identical)."""
+        return {
+            "peers_suspected": self.peers_suspected,
+            "suspicions_cleared": self.suspicions_cleared,
+            "probes_sent": self.probes_sent,
+            "peers_confirmed_dead": self.peers_confirmed_dead,
+            "channels_torn_down": self.channels_torn_down,
         }
 
 
@@ -165,6 +222,33 @@ class _AckPayload:
     @property
     def count(self) -> int:
         return 0
+
+
+@dataclass
+class _ProbePayload:
+    """Content of a liveness probe or its reply (``count`` is 0)."""
+
+    origin: int
+    reply: bool = False
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+@dataclass
+class _Suspicion:
+    """Open question about one peer's liveness.
+
+    Keyed by the suspected pid; every channel whose budget trips while
+    the suspicion is open registers here so one verdict settles all of
+    them.
+    """
+
+    prober: int
+    probes_left: int
+    channels: Set[Tuple[int, int]] = field(default_factory=set)
+    timer: Optional[Any] = None
 
 
 @dataclass
@@ -209,7 +293,10 @@ class ReliableDelivery:
     default hot path pays one ``is None`` check per send/arrival.
     """
 
-    __slots__ = ("rt", "config", "stats", "on_loss", "_tx", "_rx")
+    __slots__ = (
+        "rt", "config", "stats", "on_loss", "_tx", "_rx",
+        "_suspicions", "_confirmed_dead",
+    )
 
     def __init__(self, rt: "RuntimeSystem", config: ReliabilityConfig) -> None:
         self.rt = rt
@@ -221,7 +308,12 @@ class ReliableDelivery:
         self.on_loss: Optional[Callable[[NetMessage, int], None]] = None
         self._tx: Dict[Tuple[int, int], _TxChannel] = {}
         self._rx: Dict[Tuple[int, int], _RxState] = {}
+        #: Open liveness questions, keyed by suspected pid.
+        self._suspicions: Dict[int, _Suspicion] = {}
+        #: Peers whose death silence has confirmed.
+        self._confirmed_dead: Set[int] = set()
         rt.register_handler(ACK_KIND, self._on_ack_msg)
+        rt.register_handler(PROBE_KIND, self._on_probe_msg)
 
     # ------------------------------------------------------------------
     # Send path (called from Transport.send)
@@ -238,7 +330,7 @@ class ReliableDelivery:
             # stamped and pending; just refresh its piggyback chance.
             self._maybe_piggyback(msg, src_process)
             return
-        if route is not Route.INTER_NODE or msg.kind == ACK_KIND:
+        if route is not Route.INTER_NODE or msg.kind in CONTROL_KINDS:
             return
         ch = self._tx_channel(src_process, msg.dst_process)
         if ch.degraded:
@@ -290,6 +382,9 @@ class ReliableDelivery:
             return False
         if msg.seq is None:
             return True
+        if self._suspicions and msg.rel_src in self._suspicions:
+            # Data from a suspected peer is proof of life.
+            self._clear_suspicion(msg.rel_src)
         seq = msg.seq
         ch = self._tx.get((msg.rel_src, dst_process))
         if ch is not None and seq in ch.stale:
@@ -367,6 +462,9 @@ class ReliableDelivery:
         nack: Optional[int],
     ) -> None:
         """Retire pending messages of channel ``src_pid -> acker``."""
+        if self._suspicions and acker in self._suspicions:
+            # An ack from a suspected peer is proof of life.
+            self._clear_suspicion(acker)
         ch = self._tx.get((src_pid, acker))
         if ch is None:
             return
@@ -434,6 +532,20 @@ class ReliableDelivery:
                 f"{entry.attempt} retransmissions (attempt {entry.attempt + 1} "
                 f"of {self.config.max_retries + 1})"
             )
+        if self.rt.dead_procs is not None:
+            # Crash fabric armed: exhaustion might mean the peer is dead
+            # rather than the wire being hopeless. Hold the channel and
+            # ask; the verdict either degrades it (peer alive) or tears
+            # down every channel towards the peer (silence).
+            self._suspect(src, dst)
+            return
+        self._degrade_channel(src, dst)
+
+    def _degrade_channel(self, src: int, dst: int) -> None:
+        """Trip channel ``src -> dst`` to unprotected direct traffic."""
+        ch = self._tx[(src, dst)]
+        if ch.degraded:
+            return
         ch.degraded = True
         self.stats.channels_degraded += 1
         abandoned = sorted(ch.pending.items())
@@ -451,7 +563,7 @@ class ReliableDelivery:
                 self.stats.messages_unconfirmed += 1
                 continue
             ch.stale.add(s)
-            items = int(getattr(e.msg.payload, "count", 0) or 0)
+            items = _payload_items(e.msg)
             self.stats.messages_abandoned += 1
             self.stats.items_abandoned += items
             if self.on_loss is not None:
@@ -460,6 +572,183 @@ class ReliableDelivery:
             hook = getattr(scheme, "on_destination_degraded", None)
             if hook is not None:
                 hook(src, dst)
+
+    # ------------------------------------------------------------------
+    # Peer-death suspicion (crash fabric only)
+    # ------------------------------------------------------------------
+    def _suspect(self, src: int, dst: int) -> None:
+        """Channel ``src -> dst`` exhausted its budget; question ``dst``."""
+        if dst in self._confirmed_dead:
+            self._teardown_channel(src, dst)
+            return
+        s = self._suspicions.get(dst)
+        if s is not None:
+            s.channels.add((src, dst))
+            return
+        s = _Suspicion(prober=src, probes_left=self.config.probe_retries)
+        s.channels.add((src, dst))
+        self._suspicions[dst] = s
+        self.stats.peers_suspected += 1
+        self._send_probe(src, dst)
+        s.timer = self.rt.engine.timer_after(
+            self.config.probe_timeout_ns, self._on_probe_timeout, dst
+        )
+
+    def _send_probe(self, src: int, dst: int) -> None:
+        machine = self.rt.machine
+        probe = NetMessage(
+            kind=PROBE_KIND,
+            src_worker=machine.workers_of_process(src)[0],
+            dst_process=dst,
+            size_bytes=self.rt.costs.header_bytes,
+            payload=_ProbePayload(origin=src),
+            expedited=True,
+        )
+        self.stats.probes_sent += 1
+        self.rt.transport.send(probe)
+
+    def _on_probe_msg(self, ctx: Any, msg: NetMessage) -> None:
+        """Handler for probes and probe replies (runs on a live PE)."""
+        p = msg.payload
+        here = msg.dst_process
+        if p.reply:
+            self._clear_suspicion(p.origin)
+            return
+        machine = self.rt.machine
+        reply = NetMessage(
+            kind=PROBE_KIND,
+            src_worker=machine.workers_of_process(here)[0],
+            dst_process=p.origin,
+            size_bytes=self.rt.costs.header_bytes,
+            payload=_ProbePayload(origin=here, reply=True),
+            expedited=True,
+        )
+        self.rt.transport.send(reply)
+
+    def _on_probe_timeout(self, dst: int) -> None:
+        s = self._suspicions.get(dst)
+        if s is None:
+            return
+        s.timer = None
+        if s.probes_left > 0:
+            s.probes_left -= 1
+            self._send_probe(s.prober, dst)
+            s.timer = self.rt.engine.timer_after(
+                self.config.probe_timeout_ns, self._on_probe_timeout, dst
+            )
+            return
+        self._confirm_dead(dst)
+
+    def _clear_suspicion(self, peer: int) -> None:
+        """Evidence of life: degrade the waiting channels the normal way."""
+        s = self._suspicions.pop(peer, None)
+        if s is None:
+            return
+        if s.timer is not None:
+            self.rt.engine.cancel(s.timer)
+        self.stats.suspicions_cleared += 1
+        for src, dst in sorted(s.channels):
+            self._degrade_channel(src, dst)
+
+    def _confirm_dead(self, dst: int) -> None:
+        """Silence confirmed: write off every channel towards ``dst``.
+
+        The probes may all have died on an extremely lossy wire while
+        the peer lives — the verdict can be wrong, but accounting stays
+        exact either way: written-off sequence numbers are stale-marked,
+        so a late delivery is discarded rather than double-counted.
+        """
+        s = self._suspicions.pop(dst, None)
+        if s is not None and s.timer is not None:
+            self.rt.engine.cancel(s.timer)
+        self._confirmed_dead.add(dst)
+        self.stats.peers_confirmed_dead += 1
+        for src, d in sorted(self._tx):
+            if d == dst:
+                self._teardown_channel(src, d)
+        for scheme in self.rt.schemes:
+            hook = getattr(scheme, "on_peer_dead", None)
+            if hook is not None:
+                hook(dst)
+
+    def _teardown_channel(self, src: int, dst: int) -> None:
+        """Write off channel ``src -> dst`` against a dead peer.
+
+        Like a degrade, but the surviving pending messages count as
+        crash losses (the peer's protocol state died with it, so no ack
+        will ever come). Receiver ground truth still splits deliveries
+        whose ack was lost from true losses, so an item is never counted
+        twice.
+        """
+        ch = self._tx.get((src, dst))
+        if ch is None or ch.degraded:
+            return
+        ch.degraded = True
+        self.stats.channels_torn_down += 1
+        pending = sorted(ch.pending.items())
+        ch.pending.clear()
+        rx = self._rx.get((dst, src))
+        lost_items = 0
+        lost_msgs = 0
+        for s, e in pending:
+            if e.timer is not None:
+                self.rt.engine.cancel(e.timer)
+            if rx is not None and (s <= rx.cum or s in rx.seen):
+                self.stats.messages_unconfirmed += 1
+                continue
+            ch.stale.add(s)
+            lost_items += _payload_items(e.msg)
+            lost_msgs += 1
+        faults = self.rt.faults
+        if faults is not None:
+            faults.note_crash_items(lost_items, lost_msgs)
+
+    # ------------------------------------------------------------------
+    # Crash fabric notifications (from RuntimeSystem)
+    # ------------------------------------------------------------------
+    def on_process_crashed(self, pid: int) -> None:
+        """Process ``pid`` died: its protocol state dies with it.
+
+        Outbound channels are torn down (their pending messages can
+        never be confirmed by a sender that no longer exists); the dead
+        process's delayed-ack timers and open suspicions are cancelled
+        so nothing fires on its behalf. Channels *towards* ``pid`` are
+        deliberately left alone — the survivors must discover the death
+        through the suspicion protocol.
+        """
+        for (src, dst) in sorted(self._tx):
+            if src == pid:
+                self._teardown_channel(src, dst)
+        for (owner, peer), rx in self._rx.items():
+            if owner == pid and rx.ack_timer is not None:
+                self.rt.engine.cancel(rx.ack_timer)
+                rx.ack_timer = None
+        # Suspicions the dead process was probing on: pass the baton to
+        # a surviving channel, or drop the question with the questioner.
+        for dst in list(self._suspicions):
+            s = self._suspicions[dst]
+            s.channels = {c for c in s.channels if c[0] != pid}
+            if s.prober == pid:
+                survivors = sorted(c[0] for c in s.channels)
+                if survivors:
+                    s.prober = survivors[0]
+                else:
+                    if s.timer is not None:
+                        self.rt.engine.cancel(s.timer)
+                    del self._suspicions[dst]
+
+    def on_process_restarted(self, pid: int) -> None:
+        """Process ``pid`` came back: give its channels a fresh chance.
+
+        Channels touching the restarted process un-degrade (sequence
+        numbering stays monotone and stale sets are kept, so leftovers
+        of the previous incarnation still cannot double-deliver); work
+        lost in the crash stays lost.
+        """
+        self._confirmed_dead.discard(pid)
+        for (src, dst), ch in self._tx.items():
+            if src == pid or dst == pid:
+                ch.degraded = False
 
     # ------------------------------------------------------------------
     # Introspection / state accessors
@@ -482,6 +771,10 @@ class ReliableDelivery:
         """Whether channel ``src -> dst`` has fallen back to raw sends."""
         ch = self._tx.get((src, dst))
         return ch is not None and ch.degraded
+
+    def is_confirmed_dead(self, pid: int) -> bool:
+        """Whether the suspicion protocol has written ``pid`` off."""
+        return pid in self._confirmed_dead
 
     def pending_count(self) -> int:
         """Unacked messages across all channels (for tests/diagnostics)."""

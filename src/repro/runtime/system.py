@@ -120,6 +120,11 @@ class RuntimeSystem:
             if plan is not None
             else None
         )
+        #: Crash fabric: ``None`` when no plan kills processes (the
+        #: hot-path check is ``dp = rt.dead_procs; if dp and pid in dp``,
+        #: false for both ``None`` and the empty set); a live set of
+        #: currently-dead process ids otherwise.
+        self.dead_procs: Optional[set] = None
         rel_cfg = reliability
         if rel_cfg is None and fault_session is not None:
             rel_cfg = fault_session.reliability
@@ -171,6 +176,27 @@ class RuntimeSystem:
         )
         if self.timeline is not None:
             self.engine.sampler = self.timeline
+
+        # Crash fabric, armed only when the plan actually kills someone:
+        # seeded victims draw from a *dedicated* RNG stream so wire-dice
+        # placement is untouched, and a crash-free plan schedules zero
+        # events (pre-crash-fabric runs stay byte-identical).
+        if self.faults is not None and plan.has_crashes():
+            self.faults.crash_rng = self.rng.stream("proc-faults")
+            self.dead_procs = set()
+            for t, kind, pid in self.faults.crash_schedule(
+                machine.total_processes
+            ):
+                if not 0 <= pid < machine.total_processes:
+                    raise ConfigError(
+                        f"scripted {kind} targets process {pid}, but the "
+                        f"machine has {machine.total_processes} processes"
+                    )
+                fn = (
+                    self._crash_process if kind == "crash"
+                    else self._restart_process
+                )
+                self.engine.call_at(t, fn, (pid,))
 
     # ------------------------------------------------------------------
     # Component access
@@ -241,6 +267,59 @@ class RuntimeSystem:
             self.reliable.on_loss = _on_loss
         if self.flow is not None:
             self.flow.on_loss = _on_loss
+
+    # ------------------------------------------------------------------
+    # Crash fabric
+    # ------------------------------------------------------------------
+    def _crash_process(self, pid: int) -> None:
+        """Kill process ``pid`` at the current simulated time.
+
+        Everything the process holds dies with it: its workers stop
+        scheduling and their queued tasks are drained into the crash
+        ledger, its buffered aggregation items are lost, the reliability
+        layer tears down its outbound channels (its protocol state is
+        gone), and the flow controller releases credits/parked FIFOs it
+        held. Traffic *towards* the dead process is dropped and
+        accounted at each arrival site.
+        """
+        dp = self.dead_procs
+        if dp is None or pid in dp:
+            return
+        dp.add(pid)
+        proc = self._processes[pid]
+        proc.alive = False
+        self.faults.stats.proc_crashes += 1
+        for wid in self.machine.workers_of_process(pid):
+            self._workers[wid].on_process_crashed()
+        for scheme in self.schemes:
+            scheme.on_process_crashed(pid)
+        if self.reliable is not None:
+            self.reliable.on_process_crashed(pid)
+        if self.flow is not None:
+            self.flow.on_process_crashed(pid)
+
+    def _restart_process(self, pid: int) -> None:
+        """Revive process ``pid`` with a fresh (empty) state.
+
+        The simulator's shortcut through membership renegotiation (cf.
+        the sparse dynamic data exchange of arXiv:2308.13869): the
+        restart is announced to every subsystem at once — reliability
+        channels reset towards the fresh peer, schemes fail back from
+        direct-fallback routing, and the process resumes scheduling.
+        Work lost in the crash stays lost (and stays accounted).
+        """
+        dp = self.dead_procs
+        if dp is None or pid not in dp:
+            return
+        dp.discard(pid)
+        self._processes[pid].alive = True
+        self.faults.stats.proc_restarts += 1
+        for wid in self.machine.workers_of_process(pid):
+            self._workers[wid].on_process_restarted()
+        if self.reliable is not None:
+            self.reliable.on_process_restarted(pid)
+        for scheme in self.schemes:
+            scheme.on_peer_restarted(pid)
 
     # ------------------------------------------------------------------
     # Driving

@@ -68,6 +68,14 @@ class Transport:
         machine = rt.machine
         msg.send_time = rt.engine.now
         src_process = machine.process_of_worker(msg.src_worker)
+        dp = rt.dead_procs
+        if dp and src_process in dp:
+            # Emission from a task that was in flight when its process
+            # crashed: the message never reaches the wire. Reached before
+            # reliability stamps a seq, so the copy is unprotected and
+            # counts here.
+            rt.faults.note_crash_destroyed(msg)
+            return
         if not 0 <= msg.dst_process < machine.total_processes:
             raise DeliveryError(f"bad destination process {msg.dst_process}")
         if msg.dst_worker is not None and not (
@@ -157,6 +165,14 @@ class Transport:
 
     def _arrive_at_process(self, msg: NetMessage) -> None:
         rt = self.rt
+        dp = rt.dead_procs
+        if dp and msg.dst_process in dp:
+            # Dead endpoint: the copy is destroyed before any protocol
+            # acceptance. Protected copies stay pending at their sender
+            # (no ack will come) and are accounted by the reliability
+            # teardown; unprotected ones count here.
+            rt.faults.note_crash_destroyed(msg)
+            return
         if rt.machine.smp:
             ct = rt.process(msg.dst_process).commthread
             assert ct is not None

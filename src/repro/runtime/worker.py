@@ -17,11 +17,32 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Tuple
 
+from repro.faults.injector import _payload_items
 from repro.runtime.context import ExecContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.message import NetMessage
     from repro.runtime.system import RuntimeSystem
+
+
+def _task_items(fn: Callable, args: tuple) -> Tuple[int, int]:
+    """(application items, network messages) a queued task represents.
+
+    Used by the crash fabric to account work drained from a dead
+    worker's lanes. Message-handler tasks carry their message's payload
+    count; scheme section tasks advertise where their count lives via a
+    ``_crash_drain_items`` function attribute (see
+    ``repro.tram.schemes.base``); everything else (drivers, flushes)
+    carries no undelivered items — buffered work is drained separately.
+    """
+    if fn is Worker._run_message_handler:
+        return _payload_items(args[1]), 1
+    tag = getattr(getattr(fn, "__func__", fn), "_crash_drain_items", None)
+    if tag == "list":
+        return len(args[0]), 0
+    if tag == "count":
+        return int(args[0]), 0
+    return 0, 0
 
 
 @dataclass
@@ -59,6 +80,7 @@ class Worker:
         "_expedited",
         "_busy",
         "_noise_mult",
+        "dead",
     )
 
     def __init__(self, rt: "RuntimeSystem", wid: int) -> None:
@@ -73,6 +95,10 @@ class Worker:
         self._normal: Deque[Tuple[Callable[..., Any], tuple]] = deque()
         self._expedited: Deque[Tuple[Callable[..., Any], tuple]] = deque()
         self._busy = False
+        #: Set by the crash fabric when the owning process dies; a dead
+        #: worker accepts no work and counts whatever reaches it as
+        #: lost-to-crash.
+        self.dead = False
         noise = rt.costs.os_noise_factor
         is_noisy = noise > 0 and rt.machine.local_rank_of_worker(wid) == 0
         self._noise_mult = 1.0 + noise if is_noisy else 1.0
@@ -84,6 +110,14 @@ class Worker:
         self, fn: Callable[..., Any], *args: Any, expedited: bool = False
     ) -> None:
         """Queue a task ``fn(ctx, *args)``; start it if the PE is idle."""
+        if self.dead:
+            # Post-accept rule: work handed to a dead PE was already
+            # retired by its producer, so it is counted unconditionally.
+            items, messages = _task_items(fn, args)
+            faults = self.rt.faults
+            if faults is not None:
+                faults.note_crash_items(items, messages)
+            return
         lane = self._expedited if expedited else self._normal
         lane.append((fn, args))
         if not self._busy:
@@ -95,6 +129,14 @@ class Worker:
         ``extra_charge_ns`` is charged before the handler runs — used in
         non-SMP mode where the worker pays its own receive progress cost.
         """
+        if self.dead:
+            # The message was accepted (and acked, if protected) before
+            # reaching the PE queue — its sender has retired it, so the
+            # crash ledger must absorb it here unconditionally.
+            faults = self.rt.faults
+            if faults is not None:
+                faults.note_crash_items(_payload_items(msg), 1)
+            return
         stats = self.stats
         stats.messages_received += 1
         stats.queued_bytes += msg.size_bytes
@@ -138,6 +180,11 @@ class Worker:
         return None
 
     def _start_next(self) -> None:
+        if self.dead:
+            # An in-flight task's completion event may still fire after
+            # the crash; swallow it without idle-hook side effects.
+            self._busy = False
+            return
         task = self._pop()
         if task is None:
             was_busy = self._busy
@@ -171,6 +218,31 @@ class Worker:
             hook(self)
             if self._busy:
                 return
+
+    # ------------------------------------------------------------------
+    # Crash fabric
+    # ------------------------------------------------------------------
+    def on_process_crashed(self) -> None:
+        """Kill this PE: drain both lanes into the crash-loss ledger."""
+        if self.dead:
+            return
+        self.dead = True
+        items = 0
+        messages = 0
+        for lane in (self._expedited, self._normal):
+            for fn, args in lane:
+                n, m = _task_items(fn, args)
+                items += n
+                messages += m
+            lane.clear()
+        self.stats.queued_bytes = 0
+        faults = self.rt.faults
+        if faults is not None:
+            faults.note_crash_items(items, messages)
+
+    def on_process_restarted(self) -> None:
+        """Revive the PE with empty lanes; lost work stays lost."""
+        self.dead = False
 
     # ------------------------------------------------------------------
     # Introspection

@@ -120,6 +120,10 @@ class SchemeBase:
         #: layer gave up on; ``None`` until the first degradation so the
         #: fault-free insert path pays one ``is None`` check.
         self._degraded: Optional[set] = None
+        #: Destination processes the failure detector confirmed dead;
+        #: ``None`` until the first death so the crash-free insert path
+        #: pays one ``is None`` check.
+        self._dead_peers: Optional[set] = None
         #: Flush-timer scale; drops below 1.0 when a destination
         #: degrades (see :meth:`on_destination_degraded`).
         self._flush_timeout_scale = 1.0
@@ -167,6 +171,13 @@ class SchemeBase:
             # ctx.now == item.created, so with observability on the whole
             # bypass latency lands in the local_delivery stage.
             ctx.emit(self._post, dst, self._section_items_task, [item], ctx.now)
+            return
+        dead = self._dead_peers
+        if dead is not None and machine.process_of_worker(dst) in dead:
+            # The final destination is confirmed dead: the item can never
+            # be delivered. Count it at the insert site so the
+            # conservation ledger closes without a wasted network trip.
+            self._note_dead_peer_drop(1)
             return
         flow = self.rt.flow
         if flow is not None:
@@ -233,6 +244,8 @@ class SchemeBase:
                     ctx.charge(stall)
             if self._degraded is not None:
                 total -= self._direct_fallback_bulk(ctx, src, counts)
+        if total and self._dead_peers is not None:
+            total -= self._dead_peel_bulk(counts)
         if total:
             self._insert_bulk(ctx, src, counts, total)
 
@@ -409,6 +422,108 @@ class SchemeBase:
                 self.rt.worker(wid).post_task(
                     self._flush_task, expedited=self.config.expedited
                 )
+
+    # ==================================================================
+    # Crash fabric (failure-detector / runtime callbacks)
+    # ==================================================================
+    def on_peer_dead(self, pid: int) -> None:
+        """Failure-detector callback: process ``pid`` is confirmed dead.
+
+        Subsequent inserts addressed to its workers are dropped (and
+        loss-accounted) at the insert site; whatever is already buffered
+        for it is handled per scheme — the base behaviour drops
+        dest-addressed buffers, routed schemes reroute around a dead
+        intermediary (see :meth:`_on_peer_dead_buffers` overrides).
+        """
+        if self._dead_peers is None:
+            self._dead_peers = set()
+        elif pid in self._dead_peers:
+            return
+        self._dead_peers.add(pid)
+        self._on_peer_dead_buffers(pid)
+
+    def _on_peer_dead_buffers(self, pid: int) -> None:
+        """Dispose of buffers already pooled behind a dead peer.
+
+        Default: every buffer whose destination process is ``pid`` can
+        never deliver — drop and count. Node-addressed (WNs/NN) and
+        routed (Routed2D) schemes override: their buffer keys are not
+        final destinations, so they fail over instead.
+        """
+        dropped = 0
+        for buf in self._all_buffers():
+            if buf.count and buf.dest[0] == pid:
+                dropped += self._discard_buffer(buf)
+        if dropped:
+            self._note_dead_peer_drop(dropped)
+
+    def on_process_crashed(self, pid: int) -> None:
+        """Runtime callback: ``pid`` just died (ground truth, fired with
+        the crash event itself). Whatever its own workers had buffered —
+        and, per scheme, any shared or forwarding buffers it hosted —
+        died with its heap: drain and count the loss so the conservation
+        ledger stays exact."""
+        lost = 0
+        for buf in self._buffers_hosted_by(pid):
+            lost += self._discard_buffer(buf)
+        if lost:
+            faults = self.rt.faults
+            if faults is not None:
+                faults.note_crash_items(lost)
+
+    def on_peer_restarted(self, pid: int) -> None:
+        """Runtime callback: ``pid`` rejoined. New inserts pool behind
+        it again; work lost to the crash stays lost."""
+        if self._dead_peers is not None:
+            self._dead_peers.discard(pid)
+
+    def _buffers_hosted_by(self, pid: int) -> Iterable[Buffer]:
+        """Buffers living in the dead process's heap.
+
+        The default covers the common worker-owned layout
+        (``self._by_worker`` indexed by wid); schemes with shared
+        process/node buffers or forwarding buffers override or extend
+        it. Yielded buffers are detached so a restart starts clean.
+        """
+        by_worker = getattr(self, "_by_worker", None)
+        if by_worker is None:
+            return
+        for wid in self.rt.machine.workers_of_process(pid):
+            bufs = by_worker[wid]
+            for buf in list(bufs.values()):
+                yield buf
+            bufs.clear()
+
+    def _discard_buffer(self, buf: Buffer) -> int:
+        """Empty one buffer without sending; returns the items lost."""
+        n = buf.count
+        if n:
+            if isinstance(buf, ItemBuffer):
+                buf.drain(n)
+            else:
+                buf.take(n)
+        if buf.timer_event is not None:
+            self._release_timer(buf)
+        return n
+
+    def _note_dead_peer_drop(self, items: int) -> None:
+        self.stats.dead_peer_drops += items
+        faults = self.rt.faults
+        if faults is not None:
+            faults.note_crash_items(items)
+
+    def _dead_peel_bulk(self, counts: np.ndarray) -> int:
+        """Zero out bulk-insert slots addressed to dead processes."""
+        machine = self.rt.machine
+        dead = self._dead_peers
+        peeled = 0
+        for rank in np.nonzero(counts)[0]:
+            if machine.process_of_worker(int(rank)) in dead:
+                peeled += int(counts[rank])
+                counts[rank] = 0
+        if peeled:
+            self._note_dead_peer_drop(peeled)
+        return peeled
 
     # ==================================================================
     # Overload escalation (flow-controller callbacks)
@@ -761,3 +876,12 @@ class SchemeBase:
                 f"{self.name}: bulk insert used without deliver_bulk callback"
             )
         deliver(ctx, ctx.worker.wid, count, src_ids, src_counts)
+
+
+# Crash-drain metadata: when a process dies mid-run its worker lanes are
+# drained and every queued task is asked how many application items it
+# carried (``repro.runtime.worker._task_items``). Section tasks carry
+# real items; flush tasks carry none — their buffers are drained
+# separately by ``on_process_crashed``.
+SchemeBase._section_items_task._crash_drain_items = "list"
+SchemeBase._section_bulk_task._crash_drain_items = "count"

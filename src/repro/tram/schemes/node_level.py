@@ -119,6 +119,18 @@ class WNsScheme(SchemeBase):
         dst_node, _ = buf.dest
         src = ctx.worker.wid
         procs = self.rt.machine.processes_of_node(dst_node)
+        dead = self._dead_peers
+        if dead is not None:
+            alive = [p for p in procs if p not in dead]
+            if not alive:
+                # The whole node died under us: nothing there can
+                # receive or forward. Drop and loss-account.
+                self._note_dead_peer_drop(count)
+                return
+            if len(alive) < len(procs):
+                # Round-robin failover: steer to a surviving sibling.
+                self.stats.failover_reroutes += 1
+            procs = alive
         dst_process = procs[self._rr[src] % len(procs)]
         self._rr[src] += 1
         self._emit_node_message(ctx, payload, count, dst_process, full=full)
@@ -171,9 +183,14 @@ class WNsScheme(SchemeBase):
                 # only; forwarded items restart attribution on the
                 # intra-node leg's fresh span.
                 self._obs_items_msg(ctx, msg, by_process.get(me_process, ()))
+            dead = self._dead_peers
             for pid, items in by_process.items():
                 if pid == me_process:
                     self._dispatch_local_sections(ctx, items)
+                elif dead is not None and pid in dead:
+                    # Sibling died while the batch was in flight; its
+                    # items are undeliverable (they target its workers).
+                    self._note_dead_peer_drop(len(items))
                 else:
                     self._forward_items(ctx, pid, items)
             return
@@ -211,6 +228,8 @@ class WNsScheme(SchemeBase):
                 if self.stages is not None:
                     self._obs_msg(ctx, msg, sub.count, sub.t_sum)
                 self._dispatch_local_bulk(ctx, sub)
+            elif self._dead_peers is not None and pid in self._dead_peers:
+                self._note_dead_peer_drop(sub.count)
             else:
                 self._forward_bulk(ctx, pid, sub)
 
@@ -288,6 +307,25 @@ class WNsScheme(SchemeBase):
         ctx.emit(self.rt.transport.send, msg)
 
     # ------------------------------------------------------------------
+    # Crash fabric
+    # ------------------------------------------------------------------
+    def _on_peer_dead_buffers(self, pid: int) -> None:
+        """Node-addressed buffers survive a single process death — the
+        round-robin emitter steers around the dead sibling. Only a node
+        with no surviving process makes its buffers undeliverable."""
+        machine = self.rt.machine
+        dead = self._dead_peers
+        node = machine.node_of_process(pid)
+        if any(p not in dead for p in machine.processes_of_node(node)):
+            return
+        dropped = 0
+        for buf in self._all_buffers():
+            if buf.count and buf.dest[0] == node:
+                dropped += self._discard_buffer(buf)
+        if dropped:
+            self._note_dead_peer_drop(dropped)
+
+    # ------------------------------------------------------------------
     # Flush plumbing
     # ------------------------------------------------------------------
     def _flush_worker(self, ctx, wid: int) -> None:
@@ -315,6 +353,10 @@ class NNScheme(WNsScheme):
         #: Per source node: {dst_node: buffer}.
         self._by_node = [dict() for _ in range(rt.machine.nodes)]
         self._done_counts = [0] * rt.machine.nodes
+        #: Done-signals needed before the coordinated flush fires; drops
+        #: when a process on the node dies (its workers can never
+        #: signal), so survivors are not deadlocked waiting on ghosts.
+        self._done_threshold = [rt.machine.workers_per_node] * rt.machine.nodes
 
     def _get(self, src: int, dst_node: int, item_mode: bool) -> Buffer:
         machine = self.rt.machine
@@ -386,10 +428,15 @@ class NNScheme(WNsScheme):
         """Coordinated flush across the whole source node."""
         node = self.rt.machine.node_of_worker(ctx.worker.wid)
         self._done_counts[node] += 1
-        if self._done_counts[node] >= self.rt.machine.workers_per_node:
+        if self._done_counts[node] >= self._done_threshold[node]:
             self._done_counts[node] = 0
             self.stats.flushes_requested += 1
             self._flush_worker(ctx, ctx.worker.wid)
+
+    def on_process_crashed(self, pid: int) -> None:
+        super().on_process_crashed(pid)
+        node = self.rt.machine.node_of_process(pid)
+        self._done_threshold[node] -= self.rt.machine.workers_per_process
 
     def _flush_worker(self, ctx, wid: int) -> None:
         if self._defer_if_gated(wid):

@@ -134,6 +134,15 @@ class PPScheme(SchemeBase):
             self.stats.flushes_requested += 1
             self._flush_worker(ctx, ctx.worker.wid)
 
+    def _buffers_hosted_by(self, pid: int) -> Iterable[Buffer]:
+        """A dead process takes its shared heap — and every source
+        buffer pooled in it — down with it."""
+        bufs = self._proc_bufs(pid)
+        for buf in list(bufs.values()):
+            yield buf
+        bufs.clear()
+        self._done_counts[pid] = 0
+
     def _has_pending(self, wid: int) -> bool:
         pid = self.rt.machine.process_of_worker(wid)
         return any(not buf.empty for buf in self._proc_bufs(pid).values())

@@ -86,6 +86,27 @@ class Routed2DScheme(SchemeBase):
             return dst_process  # column already correct: go direct
         return at_row * self.cols + dst_col
 
+    def _route(self, at_process: int, dst_process: int) -> int:
+        """Next hop with failover around dead intermediaries.
+
+        When the column-first intermediate is confirmed dead, the item
+        detours row-first via ``(row(dst), col(at))``; if that is dead
+        too it goes direct — the grid is only an aggregation overlay,
+        the underlying fabric delivers any pair. Callers filter dead
+        *final* destinations before routing.
+        """
+        hop = self.next_hop(at_process, dst_process)
+        dead = self._dead_peers
+        if dead is None or hop == dst_process or hop not in dead:
+            return hop
+        self.stats.failover_reroutes += 1
+        dst_row, _ = self._coords(dst_process)
+        _, at_col = self._coords(at_process)
+        alt = dst_row * self.cols + at_col
+        if alt not in dead:
+            return alt
+        return dst_process
+
     # ------------------------------------------------------------------
     # Source side
     # ------------------------------------------------------------------
@@ -100,7 +121,7 @@ class Routed2DScheme(SchemeBase):
         machine = self.rt.machine
         my_process = machine.process_of_worker(src)
         dst_process = machine.process_of_worker(item.dst)
-        hop = self.next_hop(my_process, dst_process)
+        hop = self._route(my_process, dst_process)
         buf = self._get(self._by_worker[src], hop, owner=src)
         ctx.charge(self.rt.costs.item_insert_ns * self._insert_penalty(src))
         buf.add(item)
@@ -176,12 +197,18 @@ class Routed2DScheme(SchemeBase):
         self.stats.group_elements += len(items) + self._t
 
         local_by_dst: dict = {}
+        dead = self._dead_peers
+        doomed = 0
         for item in items:
             dst_process = machine.process_of_worker(item.dst)
             if dst_process == me_process:
                 local_by_dst.setdefault(item.dst, []).append(item)
             else:
-                hop = self.next_hop(me_process, dst_process)
+                if dead is not None and dst_process in dead:
+                    # Destination died while the item was in transit.
+                    doomed += 1
+                    continue
+                hop = self._route(me_process, dst_process)
                 buf = self._get(
                     self._forward[me_process], hop, owner=("f", me_process)
                 )
@@ -193,6 +220,8 @@ class Routed2DScheme(SchemeBase):
                         ctx, buf, self.config.buffer_items, hop,
                         full=True, forwarded=True,
                     )
+        if doomed:
+            self._note_dead_peer_drop(doomed)
 
         if self.stages is not None:
             local_items = [
@@ -210,6 +239,65 @@ class Routed2DScheme(SchemeBase):
                 ctx.emit(
                     self._post, dst, self._section_items_task, section, ctx.now
                 )
+
+    # ------------------------------------------------------------------
+    # Crash fabric
+    # ------------------------------------------------------------------
+    def _on_peer_dead_buffers(self, pid: int) -> None:
+        """Failover: re-seat items pooled behind a dead intermediary.
+
+        A buffer keyed by hop ``pid`` holds items for *many* final
+        destinations — those whose destination also died are dropped
+        and counted; the rest re-buffer under their detour hop.
+        Re-seating is pure bookkeeping on the same heap, so it charges
+        no CPU (documented simulation shortcut).
+        """
+        machine = self.rt.machine
+        dropped = 0
+        for wid, bufs in enumerate(self._by_worker):
+            buf = bufs.pop(pid, None)
+            if buf is not None:
+                dropped += self._reseat(
+                    buf, machine.process_of_worker(wid), bufs, wid, wid
+                )
+        for at, bufs in enumerate(self._forward):
+            buf = bufs.pop(pid, None)
+            if buf is not None:
+                owner_wid = machine.workers_of_process(at).start
+                dropped += self._reseat(buf, at, bufs, ("f", at), owner_wid)
+        if dropped:
+            self._note_dead_peer_drop(dropped)
+
+    def _reseat(self, buf: Buffer, at_process: int, bufs: dict,
+                owner, owner_wid: int) -> int:
+        """Move a dead-hop buffer's items to their failover hops.
+
+        Returns the number of items dropped because their final
+        destination is itself dead.
+        """
+        machine = self.rt.machine
+        dead = self._dead_peers
+        items = buf.drain(buf.count) if buf.count else []
+        if buf.timer_event is not None:
+            self._release_timer(buf)
+        dropped = 0
+        for item in items:
+            dst_process = machine.process_of_worker(item.dst)
+            if dst_process in dead:
+                dropped += 1
+                continue
+            hop = self._route(at_process, dst_process)
+            nb = self._get(bufs, hop, owner)
+            nb.add(item)
+            self._arm_timer(nb, owner_wid)
+        return dropped
+
+    def _buffers_hosted_by(self, pid: int) -> Iterable[Buffer]:
+        yield from super()._buffers_hosted_by(pid)
+        bufs = self._forward[pid]
+        for buf in list(bufs.values()):
+            yield buf
+        bufs.clear()
 
     # ------------------------------------------------------------------
     # Flush plumbing

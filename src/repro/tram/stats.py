@@ -153,6 +153,12 @@ class TramStats:
     #: Times the flow controller escalated this scheme (timer stretch +
     #: buffer growth) because the pipeline was overloaded.
     overload_escalations: int = 0
+    #: Items dropped (and loss-accounted) because their destination
+    #: process was confirmed dead — at insert or in pooled buffers.
+    dead_peer_drops: int = 0
+    #: Routing decisions diverted around a dead intermediary by a
+    #: routed scheme (Routed2D alternate hop, WNs round-robin skip).
+    failover_reroutes: int = 0
     latency: LatencyAggregate = field(default_factory=LatencyAggregate)
 
     @property
@@ -188,4 +194,12 @@ class TramStats:
             "overload_escalations": self.overload_escalations,
             "latency_p50_ns": self.latency.percentile(50),
             "latency_p99_ns": self.latency.percentile(99),
+        }
+
+    def crash_summary(self) -> dict:
+        """Crash-fabric counters, merged into reports only when the
+        fabric is armed so crash-free artifacts stay byte-identical."""
+        return {
+            "dead_peer_drops": self.dead_peer_drops,
+            "failover_reroutes": self.failover_reroutes,
         }

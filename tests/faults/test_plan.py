@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import FaultInjectionError
-from repro.faults import FOREVER, KINDS, FaultPlan, FaultWindow
+from repro.faults import FOREVER, KINDS, PROCESS_KINDS, FaultPlan, FaultWindow
 
 
 class TestFaultWindow:
@@ -42,7 +42,8 @@ class TestFaultWindow:
     def test_all_kinds_constructible(self):
         for kind in KINDS:
             mag = 2.0 if kind == "nic_degrade" else 0.5
-            FaultWindow(0.0, 1.0, kind, magnitude=mag)
+            target = 1 if kind in PROCESS_KINDS else None
+            FaultWindow(0.0, 1.0, kind, magnitude=mag, target=target)
 
 
 class TestFaultPlan:

@@ -1,0 +1,134 @@
+"""Chaos property: random mid-run process crashes never break accounting.
+
+For ANY routed scheme, ANY non-coordinator victim and ANY crash time
+inside the traffic horizon, the run must reach quiescence with the
+conservation ledger closed exactly::
+
+    produced == delivered + lost_to_crash + lost + shed
+                + abandoned + buffered + parked
+
+with nothing left buffered or parked — and the whole story must be
+bit-for-bit reproducible from the seed (same victims, same losses,
+same end time).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FOREVER, FaultPlan, FaultWindow
+from repro.flow import conservation_ledger
+from repro.machine import MachineConfig
+from repro.runtime.reliability import ReliabilityConfig
+from repro.runtime.system import RuntimeSystem
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=2, processes_per_node=2, workers_per_process=2)
+
+#: Every aggregation topology with a forwarding hop or shared buffer —
+#: the ones where a dying endpoint strands in-flight work unless the
+#: crash fabric reroutes or loss-accounts it.
+ROUTED_SCHEMES = ("WW", "WPs", "WsP", "PP", "R2D", "WNs", "NN")
+
+#: Budgeted reliability so the crash is *confirmed* (suspicion, probes,
+#: teardown) rather than merely dropped at the transport.
+CONFIRM = ReliabilityConfig(
+    retransmit_timeout_ns=12_000.0,
+    ack_delay_ns=500.0,
+    max_retries=2,
+    probe_timeout_ns=5_000.0,
+    probe_retries=1,
+)
+
+
+def run_chaos(scheme, victim, crash_t_ns, seed, *, reliability=None,
+              items=200, horizon_ns=120_000.0):
+    plan = FaultPlan(
+        windows=(FaultWindow(crash_t_ns, FOREVER, "proc_crash",
+                             target=victim),)
+    )
+    rt = RuntimeSystem(MACHINE, seed=seed, faults=plan,
+                       reliability=reliability)
+    tram = make_scheme(
+        scheme, rt,
+        TramConfig(buffer_items=16, item_bytes=8, idle_flush=True),
+        deliver_item=lambda ctx, it: None,
+    )
+    w = MACHINE.total_workers
+
+    def one_send(ctx, dst):
+        tram.insert(ctx, dst=dst)
+
+    rng = np.random.default_rng(seed)
+    for _ in range(items):
+        src = int(rng.integers(0, w))
+        dst = int(rng.integers(0, w))
+        rt.post(src, one_send, dst, delay=float(rng.random() * horizon_ns))
+    stats = rt.run(max_events=5_000_000)
+    return rt, tram, stats
+
+
+def fingerprint(rt, tram, stats):
+    return (
+        stats.end_time,
+        sorted(rt.dead_procs),
+        conservation_ledger(rt),
+        tram.stats.summary(),
+        tram.stats.crash_summary(),
+    )
+
+
+class TestCrashChaosProperties:
+    @given(
+        scheme=st.sampled_from(ROUTED_SCHEMES),
+        victim=st.integers(1, 3),
+        crash_t=st.floats(5_000.0, 90_000.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ledger_closes_exactly_under_random_crash(
+        self, scheme, victim, crash_t, seed
+    ):
+        rt, tram, _ = run_chaos(scheme, victim, crash_t, seed)
+        led = conservation_ledger(rt)
+        assert led["balanced"] is True, led
+        assert led["buffered"] == 0, led
+        assert led["parked"] == 0, led
+        # Re-derive the closure by hand rather than trusting the flag.
+        assert led["produced"] == (
+            led["delivered"] + led["lost_to_crash"] + led["lost"]
+            + led["shed"] + led["abandoned"]
+        ), led
+        assert rt.dead_procs == {victim}
+
+    @given(
+        scheme=st.sampled_from(("R2D", "WNs", "NN")),
+        victim=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_confirmed_crash_closes_ledger_with_reliability(
+        self, scheme, victim, seed
+    ):
+        rt, tram, _ = run_chaos(
+            scheme, victim, 10_000.0, seed, reliability=CONFIRM, items=300,
+        )
+        led = conservation_ledger(rt)
+        assert led["balanced"] is True, led
+        assert led["buffered"] == 0, led
+        assert led["parked"] == 0, led
+        assert rt.reliable.pending_count() == 0
+
+    @given(
+        scheme=st.sampled_from(ROUTED_SCHEMES),
+        victim=st.integers(1, 3),
+        crash_t=st.floats(5_000.0, 90_000.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_crash_runs_are_bit_for_bit_reproducible(
+        self, scheme, victim, crash_t, seed
+    ):
+        a = run_chaos(scheme, victim, crash_t, seed)
+        b = run_chaos(scheme, victim, crash_t, seed)
+        assert fingerprint(*a) == fingerprint(*b)
