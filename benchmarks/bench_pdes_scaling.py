@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""PDES benchmark-regression suite.
+
+Measures the conservative parallel engine (:mod:`repro.sim.parallel`)
+against the sequential fast loop and emits ``BENCH_pdes.json``:
+
+* ``phold_seq`` / ``phold_pdes_2`` / ``phold_pdes_4`` — events/sec on a
+  dense 4-node PHOLD instance, sequential vs ``--sim-parallel {2,4}``;
+* ``pdes_speedup_2`` / ``pdes_speedup_4`` — wall-clock ratios (x);
+* ``histo_weak_pdes_4`` / ``sssp_pdes_4`` — events/sec for one
+  histogram weak-scaling point and one fig16-class SSSP instance under
+  4 partitions (the workloads the ROADMAP targets);
+* ``fig18_rejected_<scheme>`` — the Fig 18 PHOLD rejected-event counts
+  (the paper's rollback proxy), so a PHOLD behaviour regression fails
+  CI like an engine-throughput regression does.
+
+**Sequential equivalence is asserted unconditionally** on every
+invocation: each partitioned run must reproduce the sequential result
+bit-for-bit (every result field, numpy arrays included) or the suite
+aborts — the scaling numbers are meaningless if the answers differ.
+
+The committed copy under ``benchmarks/`` is the regression baseline:
+CI re-runs the suite and fails when a bench drops below tolerance.
+Speedup benches gate on fixed floors instead of the baseline value —
+they measure the host's parallelism, so a baseline recorded on a
+small box must not bind a CI runner (and vice versa):
+``pdes_speedup_4`` requires >= 1.5x on hosts with >= 4 cores,
+``pdes_speedup_2`` requires >= 1.2x on hosts with >= 2 cores, and both
+are skipped on fewer cores, where forking buys nothing. The fig18
+rejected counts are simulation *results*, not timings — they gate on
+exact equality with the baseline on every host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pdes_scaling.py \
+        --out BENCH_pdes.json
+    PYTHONPATH=src python benchmarks/bench_pdes_scaling.py \
+        --check benchmarks/BENCH_pdes.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.apps import run_histogram, run_sssp
+from repro.apps.pdes.phold import run_phold
+from repro.harness.figures import fig18
+from repro.machine import MachineConfig
+from repro.sim.parallel import PdesConfig, PdesSession
+
+SCHEMA = "repro.bench-pdes/1"
+
+#: Dense PHOLD scaling point: 1024 LPs / 8192 circulating events over 4
+#: nodes keeps ~80 events per partition inside every lookahead window,
+#: so the per-round coordination cost amortizes (conservative PDES only
+#: pays off when work-per-window >> sync cost; this instance is in that
+#: regime, the fig18 instance deliberately is not).
+PHOLD_MACHINE = dict(nodes=4, processes_per_node=1, workers_per_process=8)
+PHOLD_KW = dict(
+    lps_per_worker=32, init_events_per_lp=8, quota_per_worker=4000,
+    buffer_items=32,
+)
+
+#: One histogram weak-scaling point and one fig16-class SSSP instance.
+APP_MACHINE = dict(nodes=4, processes_per_node=2, workers_per_process=4)
+HISTO_KW = dict(updates_per_pe=6000, buffer_items=64, batch=1000)
+SSSP_KW = dict(num_vertices=4096)
+
+#: Fixed floors for the speedup benches (see module docstring).
+SPEEDUP_FLOORS = {"pdes_speedup_2": (2, 1.2), "pdes_speedup_4": (4, 1.5)}
+
+
+def speedup_floor(name: str, cpus: int):
+    """Required speedup for this host, or None to skip the gate."""
+    min_cpus, floor = SPEEDUP_FLOORS[name]
+    return floor if cpus >= min_cpus else None
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def _require_equal(name: str, seq, par) -> None:
+    """Abort unless a partitioned result matches the sequential one."""
+    if hasattr(seq, "__dataclass_fields__"):
+        for f in seq.__dataclass_fields__:
+            a, b = getattr(seq, f), getattr(par, f)
+            same = (
+                np.array_equal(a, b)
+                if isinstance(a, np.ndarray)
+                else a == b
+            )
+            if not same:
+                raise SystemExit(
+                    f"FATAL: {name} diverged from sequential on {f!r}: "
+                    f"{a!r} != {b!r}"
+                )
+    elif seq != par:
+        raise SystemExit(f"FATAL: {name} diverged from sequential")
+
+
+# ----------------------------------------------------------------------
+# Benches
+# ----------------------------------------------------------------------
+def run_suite(repeats: int) -> dict:
+    results = {}
+
+    def report(name, value, unit, detail):
+        results[name] = {"value": round(value, 2), "unit": unit,
+                         "detail": detail}
+        print(f"  {name:20s} {value:12,.2f} {unit}", file=sys.stderr)
+
+    def best(fn, *args, **kwargs):
+        walls = []
+        out = None
+        for _ in range(repeats):
+            wall, out = _timed(fn, *args, **kwargs)
+            walls.append(wall)
+        return min(walls), out
+
+    machine = MachineConfig(**PHOLD_MACHINE)
+    seq_wall, seq = best(run_phold, machine, "pp", **PHOLD_KW)
+    report("phold_seq", seq.events / seq_wall, "events/sec",
+           f"dense PHOLD {PHOLD_MACHINE}, {seq.events} events, sequential")
+
+    for parts in (2, 4):
+        def partitioned():
+            with PdesSession(PdesConfig(partitions=parts)):
+                return run_phold(machine, "pp", **PHOLD_KW)
+
+        par_wall, par = best(partitioned)
+        _require_equal(f"phold at --sim-parallel {parts}", seq, par)
+        report(f"phold_pdes_{parts}", par.events / par_wall, "events/sec",
+               f"same instance at --sim-parallel {parts}")
+        report(f"pdes_speedup_{parts}", seq_wall / par_wall, "x",
+               f"seq {seq_wall:.2f}s / pdes{parts} {par_wall:.2f}s "
+               f"on {os.cpu_count()} cpus")
+
+    machine = MachineConfig(**APP_MACHINE)
+    _, h_seq = best(run_histogram, machine, "pp", **HISTO_KW)
+
+    def histo_partitioned():
+        with PdesSession(PdesConfig(partitions=4)):
+            return run_histogram(machine, "pp", **HISTO_KW)
+
+    h_wall, h_par = best(histo_partitioned)
+    _require_equal("histogram at --sim-parallel 4", h_seq, h_par)
+    report("histo_weak_pdes_4", h_par.events / h_wall, "events/sec",
+           f"histogram weak-scaling point {HISTO_KW} at --sim-parallel 4")
+
+    _, s_seq = best(run_sssp, machine, "pp", **SSSP_KW)
+
+    def sssp_partitioned():
+        with PdesSession(PdesConfig(partitions=4)):
+            return run_sssp(machine, "pp", **SSSP_KW)
+
+    s_wall, s_par = best(sssp_partitioned)
+    _require_equal("sssp at --sim-parallel 4", s_seq, s_par)
+    report("sssp_pdes_4", s_par.events / s_wall, "events/sec",
+           f"fig16-class SSSP {SSSP_KW} at --sim-parallel 4")
+
+    data = fig18("quick")
+    for scheme, rejected in zip(data.x, data.series_by_name("rejected").y):
+        report(f"fig18_rejected_{scheme}", rejected, "events",
+               "Fig 18 quick-profile rejected (out-of-order) events")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def check_regression(results: dict, baseline_path: str,
+                     tolerance: float) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    base = baseline.get("results", {})
+    cpus = os.cpu_count() or 1
+    failures = []
+
+    throughput = ("phold_seq", "phold_pdes_2", "phold_pdes_4",
+                  "histo_weak_pdes_4", "sssp_pdes_4")
+    for name in throughput:
+        if name not in base:
+            continue
+        if name not in results:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base[name]["value"] * (1.0 - tolerance)
+        got = results[name]["value"]
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"  {name:20s} baseline={base[name]['value']:12,.2f} "
+            f"now={got:12,.2f} ({got / base[name]['value']:6.1%}) {status}",
+            file=sys.stderr,
+        )
+        if got < floor:
+            failures.append(
+                f"{name}: {got:,.2f} events/sec is "
+                f"{1 - got / base[name]['value']:.1%} below baseline "
+                f"(tolerance {tolerance:.0%})"
+            )
+
+    for name in ("pdes_speedup_2", "pdes_speedup_4"):
+        floor = speedup_floor(name, cpus)
+        got = results.get(name, {}).get("value")
+        if floor is None:
+            print(
+                f"  {name:20s} skipped ({cpus} cpu(s): partitions cannot "
+                "beat sequential)",
+                file=sys.stderr,
+            )
+        elif got is None or got < floor:
+            failures.append(
+                f"{name}: {got}x below the {floor}x floor for {cpus} cpus"
+            )
+        else:
+            print(f"  {name:20s} {got:.2f}x >= {floor}x floor ok",
+                  file=sys.stderr)
+
+    # Rejected-event counts are deterministic simulation results: any
+    # host must reproduce the committed values exactly.
+    for name in sorted(base):
+        if not name.startswith("fig18_rejected_"):
+            continue
+        want = base[name]["value"]
+        got = results.get(name, {}).get("value")
+        if got != want:
+            failures.append(
+                f"{name}: rejected-event count changed "
+                f"(baseline {want}, now {got}) — PHOLD behaviour regressed"
+            )
+        else:
+            print(f"  {name:20s} {got:,.0f} == baseline ok",
+                  file=sys.stderr)
+    ww = results.get("fig18_rejected_WW", {}).get("value")
+    pp = results.get("fig18_rejected_PP", {}).get("value")
+    if ww and pp and not pp < 0.95 * ww:
+        failures.append(
+            f"fig18 paper claim violated: PP rejected {pp} not >5% "
+            f"under WW {ww}"
+        )
+
+    if failures:
+        print("pdes bench regression detected:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("OK: pdes benches within tolerance/floors", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None, help="write BENCH_pdes.json here")
+    ap.add_argument("--check", default=None,
+                    help="baseline BENCH_pdes.json to compare against")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional throughput drop (default 0.25)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="timing repeats per bench; best run wins (default 2)")
+    args = ap.parse_args(argv)
+
+    print(
+        f"running pdes bench suite (repeats={args.repeats}, "
+        f"{os.cpu_count()} cpu(s))...",
+        file=sys.stderr,
+    )
+    results = run_suite(args.repeats)
+    payload = {
+        "schema": SCHEMA,
+        "env": {"cpus": os.cpu_count()},
+        "results": results,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.check:
+        return check_regression(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

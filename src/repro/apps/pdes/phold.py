@@ -79,14 +79,18 @@ def run_phold(
     W = machine.total_workers
     total_lps = W * lps_per_worker
 
-    engines = [
-        OptimisticEngine(
-            lps=[LpState(lp_id=w + W * i) for i in range(lps_per_worker)]
-        )
-        for w in range(W)
-    ]
-    spawned = [0] * W  # events spawned by each worker (quota control)
-    loop_live = [False] * W
+    engines = rt.pdes_share(
+        [
+            OptimisticEngine(
+                lps=[LpState(lp_id=w + W * i) for i in range(lps_per_worker)]
+            )
+            for w in range(W)
+        ],
+        merge="worker",
+    )
+    # events spawned by each worker (quota control)
+    spawned = rt.pdes_share([0] * W, merge="worker")
+    loop_live = rt.pdes_share([False] * W, merge="worker")
 
     def deliver(ctx, item) -> None:
         lp_global, virtual_ts = item.payload

@@ -104,7 +104,10 @@ def run_sssp(
     n = graph.num_vertices
     rt = RuntimeSystem(machine, costs, seed=seed)
     W = machine.total_workers
-    chares = [_SsspChare(w, (n - w + W - 1) // W) for w in range(W)]
+    chares = rt.pdes_share(
+        [_SsspChare(w, (n - w + W - 1) // W) for w in range(W)],
+        merge="worker",
+    )
 
     def accept(ctx, chare: _SsspChare, vertex: int, d: float) -> None:
         """Accept-or-waste one tentative distance at its owner."""

@@ -144,6 +144,11 @@ class StageLatency:
         """Attribute ``per_item_ns`` to ``stage`` for ``items`` items."""
         self.hists[stage].record(per_item_ns, items)
 
+    def hist(self, stage: str) -> Log2Histogram:
+        """The live histogram for ``stage`` (read accessor; the sharded
+        variant returns a fold instead)."""
+        return self.hists[stage]
+
     def total_ns(self, include_handler: bool = False) -> float:
         """Summed attributed nanoseconds across stages."""
         stages = STAGES if include_handler else LATENCY_STAGES
@@ -151,6 +156,50 @@ class StageLatency:
 
     def to_dict(self) -> Dict[str, dict]:
         """Stage -> summary dict, omitting stages with no observations."""
+        return {
+            s: h.summary() for s, h in self.hists.items() if h.count
+        }
+
+
+class NodeShardedStageLatency:
+    """Per-node :class:`StageLatency` shards with read-time folds.
+
+    The multi-node twin of
+    :class:`repro.tram.stats.NodeShardedLatency`, and for the same
+    reason: histogram ``total`` floats are order-sensitive accumulators,
+    so records are kept node-local (selected by ``engine.current_owner``)
+    and folded in fixed node order when read — making sequential and
+    partitioned runs byte-identical.
+    """
+
+    __slots__ = ("shards", "_engine")
+
+    def __init__(self, n_nodes: int, engine) -> None:
+        self._engine = engine
+        self.shards = [StageLatency() for _ in range(n_nodes)]
+
+    def record(self, stage: str, per_item_ns: float, items: int = 1) -> None:
+        self.shards[self._engine.current_owner].record(stage, per_item_ns, items)
+
+    def hist(self, stage: str) -> Log2Histogram:
+        merged = Log2Histogram()
+        for shard in self.shards:
+            merged.merge(shard.hists[stage])
+        return merged
+
+    @property
+    def hists(self) -> Dict[str, Log2Histogram]:
+        return {s: self.hist(s) for s in STAGES}
+
+    def total_ns(self, include_handler: bool = False) -> float:
+        stages = STAGES if include_handler else LATENCY_STAGES
+        total = 0.0
+        for s in stages:
+            for shard in self.shards:
+                total += shard.hists[s].total
+        return total
+
+    def to_dict(self) -> Dict[str, dict]:
         return {
             s: h.summary() for s, h in self.hists.items() if h.count
         }

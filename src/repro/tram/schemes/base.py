@@ -25,11 +25,11 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.network.message import NetMessage
-from repro.obs.spans import MsgSpan, StageLatency
+from repro.obs.spans import MsgSpan, NodeShardedStageLatency, StageLatency
 from repro.tram.buffer import CountBuffer, ItemBuffer, proportional_take
 from repro.tram.config import TramConfig
 from repro.tram.item import BulkBatch, Item, ItemBatch
-from repro.tram.stats import LatencyAggregate, TramStats
+from repro.tram.stats import LatencyAggregate, NodeShardedLatency, TramStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.context import ExecContext
@@ -102,17 +102,38 @@ class SchemeBase:
         self.config = config
         self.deliver_item = deliver_item
         self.deliver_bulk = deliver_bulk
+        # Multi-node runtimes shard the order-sensitive float
+        # accumulators per simulated node (in both sequential and
+        # partitioned runs), so a PDES partition writes the exact shard
+        # sequences the sequential engine would — see NodeShardedLatency.
+        n_nodes = rt.machine.nodes
         self.stats = TramStats(
-            latency=LatencyAggregate(
-                config.latency_sample,
-                seed=rt.rng.root_seed,
-                histogram=rt.obs_enabled,
+            latency=(
+                LatencyAggregate(
+                    config.latency_sample,
+                    seed=rt.rng.root_seed,
+                    histogram=rt.obs_enabled,
+                )
+                if n_nodes == 1
+                else NodeShardedLatency(
+                    n_nodes,
+                    rt.engine,
+                    config.latency_sample,
+                    seed=rt.rng.root_seed,
+                    histogram=rt.obs_enabled,
+                )
             )
         )
         #: Per-stage latency histograms; ``None`` when observability is
         #: off (the hot path then only pays ``is None`` checks).
         self.stages: Optional[StageLatency] = (
-            StageLatency() if rt.obs_enabled else None
+            (
+                StageLatency()
+                if n_nodes == 1
+                else NodeShardedStageLatency(n_nodes, rt.engine)
+            )
+            if rt.obs_enabled
+            else None
         )
         rt.schemes.append(self)
         self._t = rt.machine.workers_per_process

@@ -114,6 +114,96 @@ class LatencyAggregate:
         return None
 
 
+class NodeShardedLatency:
+    """Per-node latency shards, folded in fixed node order at read time.
+
+    Float accumulation is order-sensitive, so a single accumulator
+    written in global event order could never be reproduced bit-for-bit
+    by a partitioned run (:mod:`repro.sim.parallel`), where each node's
+    records happen in a different process. Sharding per simulated node
+    makes every write sequence *node-local* — identical in sequential
+    and partitioned executions — and the read-time fold visits shards in
+    fixed node order, so both modes produce the same bytes. Multi-node
+    runtimes use this in *both* modes; single-node runtimes keep the
+    plain :class:`LatencyAggregate` untouched.
+
+    The recording shard is selected by ``engine.current_owner`` — the
+    node that owns the event being executed (records happen in delivery
+    handlers, which run on the destination node).
+    """
+
+    __slots__ = ("shards", "_engine")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        engine,
+        sample_size: int = 0,
+        seed: int = 0,
+        histogram: bool = False,
+    ) -> None:
+        self._engine = engine
+        self.shards = [
+            LatencyAggregate(
+                sample_size,
+                seed=seed + 0x9E3779B1 * (node + 1),
+                histogram=histogram,
+            )
+            for node in range(n_nodes)
+        ]
+
+    def record(self, latency_ns: float, weight: int = 1) -> None:
+        self.shards[self._engine.current_owner].record(latency_ns, weight)
+
+    def record_bulk(self, count: int, t_sum: float, t_min: float, now: float) -> None:
+        self.shards[self._engine.current_owner].record_bulk(
+            count, t_sum, t_min, now
+        )
+
+    @property
+    def count(self) -> int:
+        return sum(s.count for s in self.shards)
+
+    @property
+    def total(self) -> float:
+        total = 0.0
+        for s in self.shards:
+            total += s.total
+        return total
+
+    @property
+    def min(self) -> float:
+        return min(s.min for s in self.shards)
+
+    @property
+    def max(self) -> float:
+        return max(s.max for s in self.shards)
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        return self.total / count if count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile over the union of the shards' backends."""
+        parts = [
+            s._reservoir[: min(s._seen, len(s._reservoir))]
+            for s in self.shards
+            if s._reservoir is not None and s._seen
+        ]
+        if parts:
+            return float(np.percentile(np.concatenate(parts), q))
+        merged: Optional[Log2Histogram] = None
+        for s in self.shards:
+            if s._hist is not None:
+                if merged is None:
+                    merged = Log2Histogram()
+                merged.merge(s._hist)
+        if merged is not None and merged.count:
+            return merged.percentile(q)
+        return None
+
+
 @dataclass
 class TramStats:
     """Counters for one scheme instance."""

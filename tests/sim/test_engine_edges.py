@@ -6,13 +6,24 @@ from repro.sim.engine import Engine
 
 
 class TestHorizonBoundaries:
-    def test_event_exactly_at_horizon_fires(self):
+    def test_event_exactly_at_horizon_deferred(self):
+        """An event AT the horizon belongs to the next window.
+
+        ``run(until=h)`` fires strictly-less-than ``h`` — the window
+        semantics the partitioned engine builds on: successive horizons
+        ``h1 < h2 < ...`` fire every event exactly once, in the window
+        ``[h_{k-1}, h_k)`` containing it. (Regression: the general and
+        sampled loops used to disagree on this boundary.)
+        """
         eng = Engine()
         fired = []
         eng.at(50.0, fired.append, "x")
-        eng.run(until=50.0)
-        assert fired == ["x"]
+        stats = eng.run(until=50.0)
+        assert fired == []
+        assert stats.horizon_reached
         assert eng.now == 50.0
+        eng.run(until=50.0 + 1e-9)
+        assert fired == ["x"]
 
     def test_event_just_after_horizon_deferred(self):
         eng = Engine()
@@ -22,6 +33,40 @@ class TestHorizonBoundaries:
         assert fired == []
         assert stats.horizon_reached
         assert eng.pending == 1
+
+    def test_boundary_agrees_between_general_and_window_loops(self):
+        """The lean window loop and the general (max_events) loop fire
+        the same strictly-less-than boundary set."""
+        for kwargs in ({}, {"max_events": 100}):
+            eng = Engine()
+            fired = []
+            for t in (10.0, 50.0, 50.0, 90.0):
+                eng.at(t, fired.append, t)
+            eng.run(until=50.0, **kwargs)
+            assert fired == [10.0]
+            eng.run(until=90.0, **kwargs)
+            assert fired == [10.0, 50.0, 50.0]
+            eng.run(**kwargs)
+            assert fired == [10.0, 50.0, 50.0, 90.0]
+
+    def test_wheel_event_at_horizon_deferred(self):
+        eng = Engine()
+        fired = []
+        eng.timer_at(50.0, fired.append, "x")
+        stats = eng.run(until=50.0)
+        assert fired == []
+        assert stats.horizon_reached
+        assert eng.pending == 1
+        eng.run()
+        assert fired == ["x"]
+
+    def test_last_event_time_not_advanced_to_horizon(self):
+        eng = Engine()
+        eng.at(10.0, lambda: None)
+        eng.at(200.0, lambda: None)
+        stats = eng.run(until=100.0)
+        assert stats.last_event_time == 10.0
+        assert stats.end_time == 100.0
 
     def test_successive_horizons(self):
         eng = Engine()

@@ -1,0 +1,367 @@
+"""Conservative-PDES partitioned execution (repro.sim.parallel).
+
+The load-bearing contract: a run under ``PdesSession`` produces results
+— every app-visible field, every component counter, the full ``(time,
+seq)`` fire sequence — identical to the sequential engine, for any
+partition count, while actually executing the partitions in forked
+worker processes. Plus the safety rails: fallback reasons, session
+nesting, cross-partition post detection, and provenance accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import MachineConfig
+from repro.machine.costs import CostModel
+from repro.runtime.quiescence import QDCounter
+from repro.runtime.system import RuntimeSystem
+from repro.sim.parallel import (
+    PdesConfig,
+    PdesSession,
+    _partition_nodes,
+    active_pdes_session,
+)
+from repro.tram import TramConfig, make_scheme
+
+MACHINE = MachineConfig(nodes=4, processes_per_node=2, workers_per_process=2)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _run_random_traffic(machine, scheme, *, seed=0, items=40, fire_log=False,
+                        idle_flush=True, g=8, max_events=None):
+    """One deterministic random-destination insert workload; returns a
+    dict of everything comparable plus the runtime."""
+    rt = RuntimeSystem(machine, seed=seed)
+    if fire_log and rt.engine.fire_log is None:
+        rt.engine.fire_log = []
+    W = machine.total_workers
+    qd = rt.pdes_share(QDCounter())
+    received = rt.pdes_share(np.zeros(W, dtype=np.int64))
+
+    def deliver(ctx, wid, count, src_ids, src_counts):
+        received[wid] += count
+        qd.consume(count)
+
+    tram = make_scheme(
+        scheme, rt,
+        TramConfig(buffer_items=g, item_bytes=8, idle_flush=idle_flush),
+        deliver_bulk=deliver,
+    )
+
+    def driver(ctx):
+        wid = ctx.worker.wid
+        rng = rt.rng.stream(f"traffic/{wid}")
+        counts = np.bincount(rng.integers(0, W, items), minlength=W)
+        qd.produce(items)
+        tram.insert_bulk(ctx, counts)
+        if not idle_flush:
+            tram.flush_when_done(ctx)
+
+    for wid in range(W):
+        rt.post(wid, driver)
+    stats = rt.run(max_events=max_events)
+    qd.require_balanced()
+    return {
+        "end_time": stats.end_time,
+        "events": stats.events_fired,
+        "received": received.copy(),
+        "messages_sent": tram.stats.messages_sent,
+        "bytes_sent": tram.stats.bytes_sent,
+        "latency_mean": tram.stats.latency.mean,
+        "latency_count": tram.stats.latency.count,
+        "fire_log": list(rt.engine.fire_log or []),
+        "rt": rt,
+    }
+
+
+def _compare(seq, par):
+    for key in ("end_time", "events", "messages_sent", "bytes_sent",
+                "latency_mean", "latency_count"):
+        assert seq[key] == par[key], (
+            f"{key}: sequential={seq[key]!r} partitioned={par[key]!r}"
+        )
+    assert np.array_equal(seq["received"], par["received"])
+
+
+# ----------------------------------------------------------------------
+# Partition math and config validation
+# ----------------------------------------------------------------------
+class TestPartitioning:
+    def test_partition_nodes_cover_exactly(self):
+        for n_nodes in (2, 3, 4, 7, 16):
+            for n_parts in (2, 3, 4):
+                ranges = _partition_nodes(n_nodes, n_parts)
+                assert len(ranges) == n_parts
+                flat = [n for r in ranges for n in r]
+                assert flat == list(range(n_nodes))
+
+    def test_partition_nodes_balanced(self):
+        for n_nodes, n_parts in ((16, 4), (7, 3), (5, 2)):
+            sizes = [len(r) for r in _partition_nodes(n_nodes, n_parts)]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_config_rejects_nonpositive_partitions(self):
+        with pytest.raises(ConfigError):
+            PdesConfig(partitions=0)
+
+    def test_pdes_share_rejects_unknown_rule(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        with pytest.raises(ConfigError):
+            rt.pdes_share(QDCounter(), merge="average")
+
+
+# ----------------------------------------------------------------------
+# Session semantics
+# ----------------------------------------------------------------------
+class TestSession:
+    def test_sessions_nest_innermost_wins(self):
+        assert active_pdes_session() is None
+        with PdesSession(PdesConfig(partitions=2)) as outer:
+            assert active_pdes_session() is outer
+            with PdesSession(PdesConfig(partitions=4)) as inner:
+                assert active_pdes_session() is inner
+                rt = RuntimeSystem(MACHINE, seed=0)
+                assert rt.pdes.partitions == 4
+            assert active_pdes_session() is outer
+        assert active_pdes_session() is None
+
+    def test_runtime_outside_session_has_no_config(self):
+        rt = RuntimeSystem(MACHINE, seed=0)
+        assert rt.pdes is None
+        assert rt.pdes_info is None
+
+    def test_provenance_counts_runs(self):
+        with PdesSession(PdesConfig(partitions=2)) as sess:
+            _run_random_traffic(MACHINE, "pp", seed=1)
+            # Single-node machine: guaranteed fallback.
+            single = MachineConfig(
+                nodes=1, processes_per_node=2, workers_per_process=2
+            )
+            _run_random_traffic(single, "pp", seed=1)
+        payload = sess.provenance_payload()
+        assert payload["sim_parallel"] == 2
+        assert payload["runs_partitioned"] == 1
+        assert payload["runs_sequential"] == 1
+        assert payload["fallback_reasons"] == {"single simulated node": 1}
+
+
+# ----------------------------------------------------------------------
+# Fallback gating
+# ----------------------------------------------------------------------
+class TestFallback:
+    def _info_for(self, **rt_kwargs):
+        rt = RuntimeSystem(MACHINE, seed=0, **rt_kwargs)
+        rt.pdes_ready()
+        rt.post(0, lambda ctx: None)
+        rt.run()
+        return rt.pdes_info
+
+    def test_bounded_run_falls_back(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            rt = RuntimeSystem(MACHINE, seed=0)
+            rt.pdes_ready()
+            rt.post(0, lambda ctx: None)
+            rt.run(max_events=10)
+            assert rt.pdes_info.mode == "sequential"
+            assert "bounded" in rt.pdes_info.fallback
+
+    def test_unregistered_app_falls_back(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            rt = RuntimeSystem(MACHINE, seed=0)
+            rt.post(0, lambda ctx: None)
+            rt.run()
+            assert rt.pdes_info.mode == "sequential"
+            assert "register" in rt.pdes_info.fallback
+
+    def test_faults_fall_back(self):
+        from repro.faults import FaultPlan
+
+        with PdesSession(PdesConfig(partitions=2)):
+            info = self._info_for(faults=FaultPlan(drop=0.01))
+            assert info.mode == "sequential"
+            assert info.fallback == "fault fabric active"
+
+    def test_timeline_falls_back(self):
+        from repro.obs import ObsConfig, TimelineConfig
+
+        with PdesSession(PdesConfig(partitions=2)):
+            info = self._info_for(obs=ObsConfig(timeline=TimelineConfig()))
+            assert info.mode == "sequential"
+            assert info.fallback == "timeline recorder active"
+
+    def test_zero_lookahead_falls_back(self):
+        costs = CostModel(alpha_inter_ns=0.0)
+        with PdesSession(PdesConfig(partitions=2)):
+            rt = RuntimeSystem(MACHINE, costs, seed=0)
+            rt.pdes_ready()
+            rt.post(0, lambda ctx: None)
+            rt.run()
+            assert rt.pdes_info.mode == "sequential"
+            assert "lookahead" in rt.pdes_info.fallback
+
+    def test_fallback_still_produces_correct_results(self):
+        seq = _run_random_traffic(MACHINE, "ww", seed=5)
+        # An explicit event budget forces the sequential fallback inside
+        # the session; generous enough that the workload still completes.
+        with PdesSession(PdesConfig(partitions=2)) as sess:
+            par = _run_random_traffic(MACHINE, "ww", seed=5,
+                                      max_events=10_000_000)
+        assert par["rt"].pdes_info.mode == "sequential"
+        assert sess.runs_partitioned == 0
+        _compare(seq, par)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: partitioned == sequential
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("scheme", ["ww", "wps", "wsp", "pp", "direct"])
+    def test_all_schemes_partitions_2(self, scheme):
+        seq = _run_random_traffic(MACHINE, scheme, seed=2)
+        with PdesSession(PdesConfig(partitions=2)) as sess:
+            par = _run_random_traffic(MACHINE, scheme, seed=2)
+        assert sess.runs_partitioned == 1
+        _compare(seq, par)
+
+    @pytest.mark.parametrize("partitions", [2, 3, 4])
+    def test_partition_counts(self, partitions):
+        seq = _run_random_traffic(MACHINE, "wps", seed=3)
+        with PdesSession(PdesConfig(partitions=partitions)) as sess:
+            par = _run_random_traffic(MACHINE, "wps", seed=3)
+        assert sess.runs_partitioned == 1
+        _compare(seq, par)
+
+    def test_partitions_clamped_to_nodes(self):
+        machine = MachineConfig(
+            nodes=2, processes_per_node=2, workers_per_process=2
+        )
+        seq = _run_random_traffic(machine, "pp", seed=4)
+        with PdesSession(PdesConfig(partitions=16)):
+            par = _run_random_traffic(machine, "pp", seed=4)
+        assert par["rt"].pdes_info.mode == "partitioned"
+        assert par["rt"].pdes_info.partitions == 2
+        _compare(seq, par)
+
+    def test_fire_sequence_identical(self):
+        seq = _run_random_traffic(MACHINE, "pp", seed=6, fire_log=True)
+        with PdesSession(PdesConfig(partitions=3, record_fires=True)):
+            par = _run_random_traffic(MACHINE, "pp", seed=6)
+        assert len(seq["fire_log"]) == len(par["fire_log"]) > 0
+        assert seq["fire_log"] == par["fire_log"]
+
+    def test_three_node_machine_odd_split(self):
+        machine = MachineConfig(
+            nodes=3, processes_per_node=1, workers_per_process=3
+        )
+        seq = _run_random_traffic(machine, "ww", seed=7, idle_flush=False)
+        with PdesSession(PdesConfig(partitions=2)):
+            par = _run_random_traffic(machine, "ww", seed=7, idle_flush=False)
+        _compare(seq, par)
+
+    def test_apps_histogram_and_sssp(self):
+        from repro.apps import run_histogram, run_sssp
+
+        machine = MachineConfig(
+            nodes=4, processes_per_node=1, workers_per_process=2
+        )
+        seq_h = run_histogram(machine, "wps", updates_per_pe=200, seed=9)
+        seq_s = run_sssp(machine, "pp", num_vertices=128, seed=9)
+        with PdesSession(PdesConfig(partitions=2)):
+            par_h = run_histogram(machine, "wps", updates_per_pe=200, seed=9)
+            par_s = run_sssp(machine, "pp", num_vertices=128, seed=9)
+        assert seq_h == par_h
+        assert seq_s.total_time_ns == par_s.total_time_ns
+        assert seq_s.wasted_updates == par_s.wasted_updates
+        assert seq_s.events == par_s.events
+        assert np.array_equal(seq_s.distances, par_s.distances)
+
+
+# ----------------------------------------------------------------------
+# Run info and accounting
+# ----------------------------------------------------------------------
+class TestRunInfo:
+    def test_partitioned_info_fields(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            out = _run_random_traffic(MACHINE, "pp", seed=8)
+        info = out["rt"].pdes_info
+        assert info.mode == "partitioned"
+        assert info.partitions == 2
+        assert info.fallback is None
+        assert info.lookahead_ns == out["rt"].costs.min_inter_node_latency_ns()
+        assert info.rounds >= 1
+        assert len(info.events_per_partition) == 2
+        # Every event of the run fired in exactly one partition.
+        assert sum(info.events_per_partition) == out["events"]
+        assert 0.0 <= info.partition_imbalance < 1.0
+
+    def test_info_to_dict_roundtrips(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            out = _run_random_traffic(MACHINE, "pp", seed=8)
+        d = out["rt"].pdes_info.to_dict()
+        assert d["mode"] == "partitioned"
+        assert isinstance(d["events_per_partition"], list)
+
+    def test_second_run_call_is_trivial(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            out = _run_random_traffic(MACHINE, "pp", seed=8)
+            rt = out["rt"]
+            info = rt.pdes_info
+            stats = rt.run()  # nothing pending: no re-fork, info kept
+            assert stats.events_fired == 0
+            assert rt.pdes_info is info
+
+    def test_engine_clock_matches_sequential(self):
+        seq = _run_random_traffic(MACHINE, "wsp", seed=10)
+        with PdesSession(PdesConfig(partitions=4)):
+            par = _run_random_traffic(MACHINE, "wsp", seed=10)
+        assert seq["rt"].engine.now == par["rt"].engine.now
+
+
+# ----------------------------------------------------------------------
+# Safety rails
+# ----------------------------------------------------------------------
+class TestSafety:
+    def test_mid_run_cross_partition_post_raises(self):
+        from repro.errors import SimulationError
+
+        with PdesSession(PdesConfig(partitions=2)):
+            rt = RuntimeSystem(MACHINE, seed=0)
+            rt.pdes_ready()
+
+            def cross(ctx):
+                # Worker 0 lives on node 0; the last worker lives on the
+                # last node — owned by the other partition. The child
+                # raises DeliveryError, surfaced by the coordinator.
+                rt.post(MACHINE.total_workers - 1, lambda c: None)
+
+            rt.post(0, cross)
+            with pytest.raises(SimulationError, match="cross-node"):
+                rt.run()
+
+    def test_child_failure_surfaces_as_simulation_error(self):
+        from repro.errors import SimulationError
+
+        with PdesSession(PdesConfig(partitions=2)):
+            rt = RuntimeSystem(MACHINE, seed=0)
+            rt.pdes_ready()
+
+            def die(ctx):
+                raise RuntimeError("injected child failure")
+
+            rt.post(0, die)
+            with pytest.raises(SimulationError, match="injected child"):
+                rt.run()
+
+    def test_qd_counter_strict_restored_in_parent(self):
+        with PdesSession(PdesConfig(partitions=2)):
+            out = _run_random_traffic(MACHINE, "pp", seed=11)
+        qd = next(
+            obj for obj, _ in out["rt"]._pdes_states
+            if isinstance(obj, QDCounter)
+        )
+        # The merged parent counter balances globally.
+        qd.require_balanced()
+        assert qd.consumed == qd.produced > 0
